@@ -1,0 +1,70 @@
+// E2 — Lemma 5.3: RLNC k-indexed-broadcast delivers k items to all n nodes
+// in O(n + k) rounds against any (including adaptive) adversary.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "protocols/rlnc_broadcast.hpp"
+
+using namespace ncdn;
+
+namespace {
+
+double broadcast_rounds(std::size_t n, std::size_t k, std::size_t d,
+                        const char* adv_kind, std::uint64_t seed) {
+  std::unique_ptr<adversary> adv;
+  if (std::string(adv_kind) == "sorted-path") {
+    adv = make_sorted_path();
+  } else if (std::string(adv_kind) == "static-path") {
+    adv = make_static_path(n);
+  } else {
+    adv = make_permuted_path(n, seed);
+  }
+  network net(n, k + d, *adv, seed + 17);
+  rlnc_session s(n, k, d);
+  rng r(seed);
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(d);
+    p.randomize(r);
+    s.seed(static_cast<node_id>(i % n), i, p);
+  }
+  const round_t used = s.run(net, 100 * (n + k), true);
+  NCDN_ASSERT(s.all_complete());
+  return static_cast<double>(used);
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(
+      "E2", "Lemma 5.3 — RLNC indexed broadcast: O(n + k) rounds, any "
+            "adversary, messages k*lg q + d bits");
+  const std::size_t trials = trials_from_env(3);
+
+  for (const char* adv_kind : {"permuted-path", "sorted-path", "static-path"}) {
+    std::printf("\nadversary: %s   [d = 16]\n", adv_kind);
+    text_table t({"n", "k", "rounds", "rounds/(n+k)"});
+    std::vector<double> xs, ys;
+    for (auto [n, k] : {std::pair{32u, 32u}, std::pair{64u, 64u},
+                        std::pair{128u, 128u}, std::pair{256u, 256u},
+                        std::pair{128u, 32u}, std::pair{128u, 512u}}) {
+      const summary s = measure_over_seeds(
+          [&](std::uint64_t seed) {
+            return broadcast_rounds(n, k, 16, adv_kind, seed);
+          },
+          trials);
+      xs.push_back(static_cast<double>(n + k));
+      ys.push_back(s.mean);
+      t.add_row({text_table::num(std::size_t{n}), text_table::num(std::size_t{k}),
+                 text_table::num(s.mean),
+                 text_table::fixed(s.mean / static_cast<double>(n + k), 3)});
+    }
+    t.print();
+    const power_fit_result fit = power_fit(xs, ys);
+    std::printf("power fit: rounds ~ (n+k)^%.2f   (paper: exponent 1.0)\n",
+                fit.exponent);
+  }
+  std::printf("\nPaper check: rounds/(n+k) is a flat constant and the "
+              "power-fit exponent is ~1 — linear time, even against the "
+              "adaptive sorted-path adversary.\n");
+  return 0;
+}

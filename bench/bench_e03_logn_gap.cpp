@@ -1,0 +1,40 @@
+// E3 — §2.3 bullet 1: for b = d = Theta(log n) and k = n, network coding
+// solves dissemination in O(n^2 / log n) rounds, a Theta(log n) factor
+// faster than any knowledge-based token-forwarding algorithm (which is
+// stuck at Theta(n^2) by the Kuhn et al. lower bound).
+#include "bench_util.hpp"
+
+using namespace ncdn;
+
+int main() {
+  print_experiment_header(
+      "E3", "§2.3 — b = d = Theta(log n), k = n: coding gains Theta(log n) "
+            "over token forwarding");
+  const std::size_t trials = trials_from_env(3);
+
+  text_table t({"n", "b=d", "forwarding", "greedy-forward", "advantage",
+                "advantage/b (flat)"});
+  for (std::size_t n : {48u, 96u, 192u, 384u}) {
+    // b = d = 4 ceil(log2 n): the Theta(log n) message-size regime.
+    std::size_t b = 4 * bits_for(n);
+    problem prob{.n = n, .k = n, .d = b, .b = b};
+    run_options fwd{.alg = algorithm::token_forwarding,
+                    .topo = topology_kind::permuted_path};
+    run_options nc{.alg = algorithm::greedy_forward,
+                   .topo = topology_kind::permuted_path};
+    const double r_fwd = bench::mean_rounds(prob, fwd, trials);
+    const double r_nc = bench::mean_rounds(prob, nc, trials);
+    t.add_row({text_table::num(n), text_table::num(b),
+               text_table::num(r_fwd), text_table::num(r_nc),
+               text_table::fixed(r_fwd / r_nc, 2) + "x",
+               text_table::fixed(r_fwd / r_nc / static_cast<double>(b), 4)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper check: forwarding pays ~n^2 (its schedule is n*k*d/b = n^2 "
+      "exactly); greedy-forward's advantage grows with b = Theta(log n) — "
+      "the last column (advantage normalized by b) stays flat, i.e. the "
+      "gap is Theta(b) = Theta(log n), matching the n^2 vs n^2/log n "
+      "separation.\n");
+  return 0;
+}

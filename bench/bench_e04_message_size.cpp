@@ -1,0 +1,44 @@
+// E4 — Theorem 2.3 vs Theorem 2.1: dissemination efficiency grows
+// *quadratically* with the message size under network coding, but only
+// linearly under token forwarding.
+#include "bench_util.hpp"
+
+using namespace ncdn;
+
+int main() {
+  print_experiment_header(
+      "E4", "Thm 2.3 — quadratic speedup in message size b (vs forwarding's "
+            "linear)");
+  const std::size_t trials = trials_from_env(3);
+
+  const std::size_t n = 128, k = 128, d = 8;
+  text_table t({"b", "forwarding", "greedy-forward", "fwd*b (flat)",
+                "nc*b^2 (flat until nb tail)"});
+  std::vector<double> xs, ys;
+  for (std::size_t b : {16u, 24u, 32u, 48u, 64u}) {
+    problem prob{.n = n, .k = k, .d = d, .b = b};
+    run_options fwd{.alg = algorithm::token_forwarding,
+                    .topo = topology_kind::permuted_path};
+    run_options nc{.alg = algorithm::greedy_forward,
+                   .topo = topology_kind::permuted_path};
+    const double r_fwd = bench::mean_rounds(prob, fwd, trials);
+    const double r_nc = bench::mean_rounds(prob, nc, trials);
+    xs.push_back(static_cast<double>(b));
+    ys.push_back(r_nc);
+    t.add_row({text_table::num(b), text_table::num(r_fwd),
+               text_table::num(r_nc),
+               text_table::num(r_fwd * static_cast<double>(b)),
+               text_table::num(r_nc * static_cast<double>(b) *
+                               static_cast<double>(b))});
+  }
+  t.print();
+  const power_fit_result fwd_like = power_fit(xs, ys);
+  std::printf("\ngreedy-forward power fit: rounds ~ b^%.2f "
+              "(paper: -2 in the n*k*d/b^2 regime; drifts toward the +nb "
+              "tail for large b)\n",
+              fwd_like.exponent);
+  std::printf("Paper check: fwd*b stays flat (linear gain); coding's "
+              "rounds fall ~quadratically in b until the additive nb term "
+              "takes over — exactly the Theorem 7.3 trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E11 — Corollary 2.6: the centralized randomized algorithm (trivial
+// indexing, genie-inferred coefficients, headerless messages) solves
+// k-token dissemination in order-optimal Theta(n).
+#include "bench_util.hpp"
+
+using namespace ncdn;
+
+int main() {
+  print_experiment_header(
+      "E11", "Cor 2.6 — centralized RLNC: Theta(n) rounds, headerless "
+             "messages");
+  const std::size_t trials = trials_from_env(3);
+
+  std::printf("\n[k = n, d = 16, b = 64; permuted path]\n");
+  text_table t({"n", "centralized", "rounds/n", "greedy (distributed)",
+                "distributed/centralized"});
+  std::vector<double> xs, ys;
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    problem prob{.n = n, .k = n, .d = 16, .b = 64};
+    run_options cen{.alg = algorithm::centralized_rlnc,
+                    .topo = topology_kind::permuted_path};
+    run_options dis{.alg = algorithm::greedy_forward,
+                    .topo = topology_kind::permuted_path};
+    const double r_cen = bench::mean_rounds(prob, cen, trials);
+    const double r_dis = bench::mean_rounds(prob, dis, trials);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(r_cen);
+    t.add_row({text_table::num(n), text_table::num(r_cen),
+               text_table::fixed(r_cen / static_cast<double>(n), 3),
+               text_table::num(r_dis),
+               text_table::fixed(r_dis / r_cen, 1) + "x"});
+  }
+  t.print();
+  const power_fit_result fit = power_fit(xs, ys);
+  std::printf("\npower fit: centralized rounds ~ n^%.2f (paper: 1.0, "
+              "order-optimal)\n", fit.exponent);
+  std::printf("Paper check: rounds/n stays flat (Theta(n)); the gap to the "
+              "distributed algorithm is the price of indexing + coefficient "
+              "headers that central control removes.\n");
+  return 0;
+}

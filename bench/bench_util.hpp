@@ -1,0 +1,48 @@
+// Shared helpers for the experiment bench binaries (E1..E15, DESIGN.md §3).
+//
+// Each binary prints the table(s) recorded in EXPERIMENTS.md.  Sizes are
+// chosen so the full suite runs in a couple of minutes; NCDN_TRIALS and
+// NCDN_SCALE scale the statistics and instance sizes up for deeper runs.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace ncdn::bench {
+
+/// Mean rounds for one (problem, options) across trials (seeds 1..trials).
+inline double mean_rounds(const problem& prob, const run_options& base,
+                          std::size_t trials) {
+  const summary s = measure_over_seeds(
+      [&](std::uint64_t seed) {
+        run_options opts = base;
+        opts.seed = seed;
+        const run_report rep = run_dissemination(prob, opts);
+        NCDN_ASSERT(rep.complete);
+        return static_cast<double>(rep.rounds);
+      },
+      trials);
+  return s.mean;
+}
+
+/// Like mean_rounds but measuring the observer completion round.
+inline double mean_completion(const problem& prob, const run_options& base,
+                              std::size_t trials) {
+  const summary s = measure_over_seeds(
+      [&](std::uint64_t seed) {
+        run_options opts = base;
+        opts.seed = seed;
+        const run_report rep = run_dissemination(prob, opts);
+        NCDN_ASSERT(rep.complete);
+        return static_cast<double>(rep.completion_round);
+      },
+      trials);
+  return s.mean;
+}
+
+}  // namespace ncdn::bench

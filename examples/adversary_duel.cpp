@@ -1,0 +1,69 @@
+// Adversary duel: how much does the adversary's power matter?
+//
+// Runs token forwarding and greedy-forward against increasingly nasty
+// adversaries — a static path, a freshly permuted path every round, and
+// the adaptive knowledge-sorted path that deliberately wastes forwarding
+// broadcasts (§5.2's "most token forwarding steps are therefore wasted",
+// engineered on purpose).  Network coding barely notices; forwarding does.
+//
+//   $ ./adversary_duel [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dissemination.hpp"
+#include "core/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  // The paper's b = d = Theta(log n) regime (§2.3 bullet 1), where token
+  // forwarding is provably stuck at ~n*k rounds and coding gains ~b.
+  ncdn::problem prob;
+  prob.n = n;
+  prob.k = n;
+  prob.d = 32;
+  prob.b = 32;
+
+  std::printf("adversary duel: n = k = %zu, d = b = %zu (the b = d = log n "
+              "regime)\n\n",
+              prob.n, prob.d);
+
+  ncdn::text_table table({"adversary", "token-forwarding", "greedy-forward",
+                          "priority-forward", "best coding advantage"});
+  for (const ncdn::topology_kind topo :
+       {ncdn::topology_kind::static_path, ncdn::topology_kind::permuted_path,
+        ncdn::topology_kind::sorted_path}) {
+    double rounds[3] = {0, 0, 0};
+    const ncdn::algorithm algs[3] = {
+        ncdn::algorithm::token_forwarding, ncdn::algorithm::greedy_forward,
+        ncdn::algorithm::priority_forward_charged};
+    for (int which = 0; which < 3; ++which) {
+      ncdn::run_options opts;
+      opts.alg = algs[which];
+      opts.topo = topo;
+      opts.seed = seed;
+      const ncdn::run_report rep = ncdn::run_dissemination(prob, opts);
+      if (!rep.complete) {
+        std::printf("dissemination failed unexpectedly\n");
+        return 1;
+      }
+      rounds[which] = static_cast<double>(rep.rounds);
+    }
+    const double best_nc = std::min(rounds[1], rounds[2]);
+    table.add_row({ncdn::to_string(topo), ncdn::text_table::num(rounds[0]),
+                   ncdn::text_table::num(rounds[1]),
+                   ncdn::text_table::num(rounds[2]),
+                   ncdn::text_table::fixed(rounds[0] / best_nc, 2) + "x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nForwarding's schedule is fixed at ceil(k/(b/d)) phases of n rounds "
+      "no matter what the adversary does; coding beats it by mixing tokens "
+      "(§5.2).  greedy-forward carries Theorem 7.3's additive nb tail — "
+      "visible against the adaptive sorted-path adversary, which starves "
+      "its gathering phase — and priority-forward (Theorem 7.5) is the "
+      "paper's cure for exactly that term.\n");
+  return 0;
+}

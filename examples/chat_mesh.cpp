@@ -1,0 +1,68 @@
+// A mobile ad-hoc chat mesh: the gossip workload the paper's introduction
+// motivates.  Devices drift around a unit square (fresh random geometric
+// topology each round — nodes move, links come and go), several of them
+// publish chat messages (tokens), and everyone must receive every message.
+//
+// Exercises the public API on a non-path topology and shows the effect of
+// T-stability: a mesh whose links persist T rounds lets the chunked coding
+// engine amortize its coefficient headers (§8's first idea).
+//
+//   $ ./chat_mesh [n] [posts] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dissemination.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const std::size_t posts =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : n / 2;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+
+  ncdn::problem prob;
+  prob.n = n;
+  prob.k = posts;
+  prob.d = 32;  // a short chat line
+  prob.b = 128;
+  prob.place = ncdn::placement::random_spread;
+
+  std::printf("ad-hoc chat mesh: %zu devices, %zu posts of %zu bits, "
+              "%zu-bit radio frames\n\n",
+              prob.n, prob.k, prob.d, prob.b);
+
+  // Fully mobile mesh (topology changes every round).
+  for (const ncdn::algorithm alg : {ncdn::algorithm::token_forwarding,
+                                    ncdn::algorithm::greedy_forward}) {
+    ncdn::run_options opts;
+    opts.alg = alg;
+    opts.topo = ncdn::topology_kind::random_geometric;
+    opts.seed = seed;
+    const ncdn::run_report rep = ncdn::run_dissemination(prob, opts);
+    std::printf("  mobility=every-round  %-18s %8llu rounds  complete=%s\n",
+                ncdn::to_string(alg),
+                static_cast<unsigned long long>(rep.rounds),
+                rep.complete ? "yes" : "NO");
+    if (!rep.complete) return 1;
+  }
+
+  // Slower mesh: links persist for T rounds.
+  for (const ncdn::round_t t : {4u, 16u}) {
+    ncdn::problem stable = prob;
+    stable.t_stability = t;
+    ncdn::run_options opts;
+    opts.alg = ncdn::algorithm::tstable_chunked;
+    opts.topo = ncdn::topology_kind::random_geometric;
+    opts.seed = seed;
+    const ncdn::run_report rep = ncdn::run_dissemination(stable, opts);
+    std::printf("  mobility=every-%-3llu   %-18s %8llu rounds  complete=%s\n",
+                static_cast<unsigned long long>(t), "tstable/chunked",
+                static_cast<unsigned long long>(rep.rounds),
+                rep.complete ? "yes" : "NO");
+    if (!rep.complete) return 1;
+  }
+
+  std::printf("\nSlower-moving meshes let the coded engine ship larger "
+              "vectors between stable neighbours, amortizing coefficient "
+              "headers (paper §8).\n");
+  return 0;
+}

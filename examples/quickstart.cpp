@@ -1,0 +1,52 @@
+// Quickstart: disseminate k tokens through an adversarially changing
+// network with random linear network coding, and compare against the
+// token-forwarding baseline — the paper's headline contrast in ~60 lines.
+//
+//   $ ./quickstart [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dissemination.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  // The counting regime of the paper's §2.3: k = n tokens of d = log n
+  // bits, messages the same size class (b = 4d here so every algorithm has
+  // a little room).
+  ncdn::problem prob;
+  prob.n = n;
+  prob.k = n;
+  prob.d = 16;
+  prob.b = 64;
+
+  std::printf("k-token dissemination, n = k = %zu, d = %zu bits, "
+              "b = %zu bits\n",
+              prob.n, prob.d, prob.b);
+  std::printf("adversary: fresh randomly-permuted path every round "
+              "(diameter n-1, always connected)\n\n");
+
+  for (const ncdn::algorithm alg :
+       {ncdn::algorithm::token_forwarding, ncdn::algorithm::naive_indexed,
+        ncdn::algorithm::greedy_forward,
+        ncdn::algorithm::centralized_rlnc}) {
+    ncdn::run_options opts;
+    opts.alg = alg;
+    opts.topo = ncdn::topology_kind::permuted_path;
+    opts.seed = seed;
+    const ncdn::run_report rep = ncdn::run_dissemination(prob, opts);
+    std::printf("  %-28s %8llu rounds   complete=%s   max message=%zu bits\n",
+                ncdn::to_string(alg),
+                static_cast<unsigned long long>(rep.rounds),
+                rep.complete ? "yes" : "NO",
+                rep.max_message_bits);
+    if (!rep.complete) return 1;
+  }
+
+  std::printf("\nToken forwarding pays ~n*k*d/b rounds; greedy-forward's "
+              "network-coded blocks cut that by another factor ~b/d "
+              "(Theorem 7.3), and the centralized genie shows the Theta(n) "
+              "floor (Corollary 2.6).\n");
+  return 0;
+}

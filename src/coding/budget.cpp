@@ -1,0 +1,41 @@
+#include "coding/budget.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace ncdn {
+
+coded_budget block_budget(std::size_t b_bits, std::size_t d_bits) {
+  NCDN_EXPECTS(b_bits >= 1 && d_bits >= 1);
+  coded_budget out;
+  // Half the message for payload, rounded down to whole tokens; at least
+  // one token per block.
+  out.tokens_per_item = std::max<std::size_t>(1, b_bits / (2 * d_bits));
+  out.item_bits = out.tokens_per_item * d_bits;
+  // The other half pays for 1-bit (q = 2) coefficients.
+  out.items = std::max<std::size_t>(1, b_bits / 2);
+  out.tokens_total = out.items * out.tokens_per_item;
+  out.message_bits = out.items + out.item_bits;
+  return out;
+}
+
+coded_budget direct_budget(std::size_t items, std::size_t item_bits,
+                           std::size_t coeff_bits) {
+  NCDN_EXPECTS(items >= 1 && item_bits >= 1 && coeff_bits >= 1);
+  coded_budget out;
+  out.items = items;
+  out.item_bits = item_bits;
+  out.tokens_per_item = 1;
+  out.tokens_total = items;
+  out.message_bits = items * coeff_bits + item_bits;
+  return out;
+}
+
+std::size_t max_coded_items(std::size_t b_bits, std::size_t item_bits,
+                            std::size_t coeff_bits) {
+  if (b_bits <= item_bits) return 0;
+  return (b_bits - item_bits) / coeff_bits;
+}
+
+}  // namespace ncdn

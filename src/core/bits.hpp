@@ -1,0 +1,36 @@
+// Small bit-manipulation helpers shared by the packed GF(2) linear algebra
+// and the message-size accounting.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace ncdn {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+/// ceil(log2(x)) for x >= 1; log2ceil(1) == 0.
+constexpr unsigned log2ceil(std::uint64_t x) noexcept {
+  return x <= 1 ? 0u
+                : static_cast<unsigned>(64 - std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned log2floor(std::uint64_t x) noexcept {
+  return x == 0 ? 0u : static_cast<unsigned>(63 - std::countl_zero(x));
+}
+
+/// Number of bits needed to represent values in [0, n), at least 1.
+constexpr unsigned bits_for(std::uint64_t n) noexcept {
+  return n <= 2 ? 1u : log2ceil(n);
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace ncdn

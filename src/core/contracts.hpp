@@ -1,0 +1,35 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Contract violations
+// indicate programmer error and abort with a diagnostic; they are enabled
+// in all build types because the simulator's correctness arguments lean on
+// these invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncdn::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "ncdn: %s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ncdn::detail
+
+#define NCDN_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ncdn::detail::contract_failure("precondition", #cond,      \
+                                             __FILE__, __LINE__))
+
+#define NCDN_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ncdn::detail::contract_failure("postcondition", #cond,     \
+                                             __FILE__, __LINE__))
+
+#define NCDN_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ncdn::detail::contract_failure("invariant", #cond,         \
+                                             __FILE__, __LINE__))

@@ -1,0 +1,150 @@
+#include "core/dissemination.hpp"
+
+#include <cmath>
+
+#include "protocols/centralized.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/greedy_forward.hpp"
+#include "protocols/naive_indexed.hpp"
+#include "protocols/priority_forward.hpp"
+#include "protocols/tstable_dissemination.hpp"
+
+namespace ncdn {
+
+const char* to_string(algorithm a) {
+  switch (a) {
+    case algorithm::token_forwarding: return "token-forwarding";
+    case algorithm::token_forwarding_pipelined: return "token-forwarding-pipelined";
+    case algorithm::naive_indexed: return "naive-indexed";
+    case algorithm::greedy_forward: return "greedy-forward";
+    case algorithm::priority_forward_flooding: return "priority-forward/flooding";
+    case algorithm::priority_forward_charged: return "priority-forward/charged";
+    case algorithm::tstable_auto: return "tstable/auto";
+    case algorithm::tstable_patch: return "tstable/patch";
+    case algorithm::tstable_chunked: return "tstable/chunked";
+    case algorithm::tstable_patch_gather: return "tstable/patch-gather";
+    case algorithm::centralized_rlnc: return "centralized-rlnc";
+  }
+  return "?";
+}
+
+const char* to_string(topology_kind t) {
+  switch (t) {
+    case topology_kind::static_path: return "static-path";
+    case topology_kind::static_star: return "static-star";
+    case topology_kind::permuted_path: return "permuted-path";
+    case topology_kind::random_connected: return "random-connected";
+    case topology_kind::random_geometric: return "random-geometric";
+    case topology_kind::sorted_path: return "sorted-path";
+  }
+  return "?";
+}
+
+std::unique_ptr<adversary> make_adversary(topology_kind topo,
+                                          const problem& prob,
+                                          std::uint64_t seed) {
+  std::unique_ptr<adversary> inner;
+  switch (topo) {
+    case topology_kind::static_path:
+      inner = make_static_path(prob.n);
+      break;
+    case topology_kind::static_star:
+      inner = make_static_star(prob.n);
+      break;
+    case topology_kind::permuted_path:
+      inner = make_permuted_path(prob.n, seed);
+      break;
+    case topology_kind::random_connected:
+      inner = make_random_connected(prob.n, prob.n / 2, seed);
+      break;
+    case topology_kind::random_geometric:
+      inner = make_random_geometric(
+          prob.n, 1.8 / std::sqrt(static_cast<double>(prob.n)), seed);
+      break;
+    case topology_kind::sorted_path:
+      inner = make_sorted_path();
+      break;
+  }
+  if (prob.t_stability > 1) {
+    inner = make_t_stable(std::move(inner), prob.t_stability);
+  }
+  return inner;
+}
+
+run_report run_dissemination(const problem& prob, const run_options& opts) {
+  NCDN_EXPECTS(prob.n >= 2 && prob.k >= 1 && prob.d >= 1 && prob.b >= prob.d);
+
+  std::uint64_t seed_state = opts.seed;
+  rng dist_rng(splitmix64(seed_state));
+  const token_distribution dist =
+      make_distribution(prob.n, prob.k, prob.d, prob.place, dist_rng);
+  auto adv = make_adversary(opts.topo, prob, opts.seed * 7919 + 11);
+  network net(prob.n, prob.b, *adv, opts.seed * 104729 + 13);
+  token_state st(dist);
+
+  run_report report;
+  report.prob = prob;
+  report.opts = opts;
+
+  switch (opts.alg) {
+    case algorithm::token_forwarding:
+    case algorithm::token_forwarding_pipelined: {
+      flooding_config cfg;
+      cfg.b_bits = prob.b;
+      cfg.pipelined = opts.alg == algorithm::token_forwarding_pipelined;
+      static_cast<protocol_result&>(report) = run_flooding(net, st, cfg);
+      break;
+    }
+    case algorithm::naive_indexed: {
+      naive_indexed_config cfg;
+      cfg.b_bits = prob.b;
+      static_cast<protocol_result&>(report) = run_naive_indexed(net, st, cfg);
+      break;
+    }
+    case algorithm::greedy_forward: {
+      greedy_forward_config cfg;
+      cfg.b_bits = prob.b;
+      static_cast<protocol_result&>(report) = run_greedy_forward(net, st, cfg);
+      break;
+    }
+    case algorithm::priority_forward_flooding:
+    case algorithm::priority_forward_charged: {
+      priority_forward_config cfg;
+      cfg.b_bits = prob.b;
+      cfg.indexing = opts.alg == algorithm::priority_forward_flooding
+                         ? indexing_mode::flooding
+                         : indexing_mode::charged;
+      static_cast<protocol_result&>(report) =
+          run_priority_forward(net, st, cfg);
+      break;
+    }
+    case algorithm::tstable_auto:
+    case algorithm::tstable_patch:
+    case algorithm::tstable_chunked:
+    case algorithm::tstable_patch_gather: {
+      tstable_config cfg;
+      cfg.b_bits = prob.b;
+      cfg.t_stability = prob.t_stability;
+      cfg.engine = opts.alg == algorithm::tstable_auto
+                       ? tstable_engine::auto_select
+                   : opts.alg == algorithm::tstable_patch
+                       ? tstable_engine::patch
+                   : opts.alg == algorithm::tstable_patch_gather
+                       ? tstable_engine::patch_gather
+                       : tstable_engine::chunked;
+      static_cast<protocol_result&>(report) =
+          run_tstable_dissemination(net, st, cfg);
+      break;
+    }
+    case algorithm::centralized_rlnc: {
+      centralized_config cfg;
+      cfg.b_bits = prob.b;
+      static_cast<protocol_result&>(report) =
+          run_centralized_rlnc(net, st, cfg);
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,76 @@
+// Public API facade: one call to set up a dynamic-network instance, pick an
+// algorithm and an adversary, and run k-token dissemination to completion.
+//
+//   ncdn::problem prob{.n = 64, .k = 64, .d = 16, .b = 64};
+//   auto report = ncdn::run_dissemination(
+//       prob, {.alg = ncdn::algorithm::greedy_forward,
+//              .topo = ncdn::topology_kind::permuted_path,
+//              .seed = 1});
+//
+// Everything the facade does can also be composed manually from the
+// protocol headers (see examples/).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dynnet/adversary.hpp"
+#include "protocols/common.hpp"
+
+namespace ncdn {
+
+enum class algorithm {
+  token_forwarding,            // Thm 2.1 baseline (batched min-flood)
+  token_forwarding_pipelined,  // streaming variant for T-stable baselines
+  naive_indexed,               // Cor 7.1
+  greedy_forward,              // Thm 7.3
+  priority_forward_flooding,   // Thm 7.5 (explicit flooding indexing)
+  priority_forward_charged,    // Thm 7.5 (charged recursive indexing)
+  tstable_auto,                // Thm 2.4 (best feasible engine)
+  tstable_patch,               // §8 patch-sharing engine
+  tstable_chunked,             // §8 first idea only (factor T)
+  tstable_patch_gather,        // §8.3 mode B: in-patch pipelined gathering
+  centralized_rlnc,            // Cor 2.6
+};
+
+enum class topology_kind {
+  static_path,
+  static_star,
+  permuted_path,      // fresh random path every round (hard oblivious)
+  random_connected,   // fresh sparse random connected graph every round
+  random_geometric,   // fresh geometric graph every round (ad-hoc mesh)
+  sorted_path,        // adaptive: path sorted by current knowledge
+};
+
+const char* to_string(algorithm a);
+const char* to_string(topology_kind t);
+
+struct problem {
+  std::size_t n = 0;  // nodes
+  std::size_t k = 0;  // tokens
+  std::size_t d = 0;  // token bits
+  std::size_t b = 0;  // message bits (b >= log2 n)
+  round_t t_stability = 1;
+  placement place = placement::one_per_node;
+};
+
+struct run_options {
+  algorithm alg = algorithm::greedy_forward;
+  topology_kind topo = topology_kind::permuted_path;
+  std::uint64_t seed = 1;
+};
+
+struct run_report : protocol_result {
+  problem prob;
+  run_options opts;
+};
+
+/// Builds the adversary for a topology kind (T-stability applied on top
+/// when prob.t_stability > 1).
+std::unique_ptr<adversary> make_adversary(topology_kind topo,
+                                          const problem& prob,
+                                          std::uint64_t seed);
+
+run_report run_dissemination(const problem& prob, const run_options& opts);
+
+}  // namespace ncdn

@@ -1,0 +1,40 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncdn {
+
+std::size_t trials_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("NCDN_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+double scale_from_env() {
+  if (const char* env = std::getenv("NCDN_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+summary measure_over_seeds(const std::function<double(std::uint64_t)>& measure,
+                           std::size_t trials, std::uint64_t base_seed) {
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    samples.push_back(measure(base_seed + i));
+  }
+  return summarize(std::move(samples));
+}
+
+void print_experiment_header(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace ncdn

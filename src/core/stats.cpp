@@ -1,0 +1,77 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace ncdn {
+
+summary summarize(std::vector<double> samples) {
+  summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+linear_fit_result linear_fit(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  NCDN_EXPECTS(x.size() == y.size());
+  NCDN_EXPECTS(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  linear_fit_result r;
+  const double denom = n * sxx - sx * sx;
+  r.slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  r.intercept = (sy - r.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (r.slope * x[i] + r.intercept);
+    ss_res += e * e;
+  }
+  r.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return r;
+}
+
+power_fit_result power_fit(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  NCDN_EXPECTS(x.size() == y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  power_fit_result r;
+  if (lx.size() < 2) return r;
+  const linear_fit_result f = linear_fit(lx, ly);
+  r.exponent = f.slope;
+  r.coefficient = std::exp(f.intercept);
+  r.r_squared = f.r_squared;
+  return r;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,41 @@
+// Summary statistics over repeated trials.  Experiment tables report the
+// mean / median / min / max round counts across seeds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ncdn {
+
+/// Five-number-ish summary of a sample of measurements.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a summary; the input is copied because median requires sorting.
+summary summarize(std::vector<double> samples);
+
+/// Least-squares fit of y = a * x + c; returns {a, c, r2}.
+struct linear_fit_result {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+linear_fit_result linear_fit(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+/// Fits y = c * x^p in log-log space; returns {p, c, r2 of the log fit}.
+struct power_fit_result {
+  double exponent = 0.0;
+  double coefficient = 0.0;
+  double r_squared = 0.0;
+};
+power_fit_result power_fit(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace ncdn

@@ -1,0 +1,70 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/contracts.hpp"
+
+namespace ncdn {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NCDN_EXPECTS(!header_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+  NCDN_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string text_table::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string text_table::num(std::size_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%zu", v);
+  return buf;
+}
+
+std::string text_table::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string text_table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void text_table::print(std::FILE* out) const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace ncdn

@@ -1,0 +1,142 @@
+#include "dynnet/adversary.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ncdn {
+
+static_adversary::static_adversary(graph g) : g_(std::move(g)) {
+  NCDN_EXPECTS(g_.is_connected());
+}
+
+generator_adversary::generator_adversary(std::string name, generator_fn fn,
+                                         std::uint64_t seed)
+    : name_(std::move(name)), fn_(std::move(fn)), rng_(seed) {}
+
+const graph& generator_adversary::topology(round_t r, const knowledge_view&) {
+  if (r != current_round_) {
+    current_ = fn_(rng_);
+    NCDN_ENSURES(current_.is_connected());
+    current_round_ = r;
+  }
+  return current_;
+}
+
+t_stable_adversary::t_stable_adversary(std::unique_ptr<adversary> inner,
+                                       round_t t)
+    : inner_(std::move(inner)), t_(t) {
+  NCDN_EXPECTS(t_ >= 1);
+  NCDN_EXPECTS(inner_ != nullptr);
+}
+
+const graph& t_stable_adversary::topology(round_t r,
+                                          const knowledge_view& view) {
+  const round_t window = r / t_;
+  if (window != cached_window_ || cached_ == nullptr) {
+    // The inner adversary sees the state at the *start of the window*,
+    // matching T-stability: within a window the topology cannot react.
+    cached_ = &inner_->topology(window, view);
+    cached_window_ = window;
+  }
+  return *cached_;
+}
+
+std::string t_stable_adversary::name() const {
+  return inner_->name() + "/T=" + std::to_string(t_);
+}
+
+t_interval_adversary::t_interval_adversary(std::size_t n, round_t t,
+                                           std::size_t extra_edges,
+                                           std::uint64_t seed)
+    : n_(n), t_(t), extra_edges_(extra_edges), rng_(seed) {
+  NCDN_EXPECTS(n >= 2 && t >= 1);
+}
+
+const graph& t_interval_adversary::topology(round_t r,
+                                            const knowledge_view&) {
+  const round_t window = r / t_;
+  if (window != tree_window_) {
+    tree_ = gen::random_tree(n_, rng_);
+    tree_window_ = window;
+  }
+  if (r != current_round_) {
+    graph g = tree_;  // the stable backbone of this window
+    for (std::size_t e = 0; e < extra_edges_; ++e) {
+      const node_id u = static_cast<node_id>(rng_.below(n_));
+      node_id v = static_cast<node_id>(rng_.below(n_ - 1));
+      if (v >= u) ++v;
+      if (!g.has_edge(u, v)) g.add_edge(u, v);
+    }
+    current_ = std::move(g);
+    current_round_ = r;
+  }
+  return current_;
+}
+
+std::string t_interval_adversary::name() const {
+  return "t-interval/T=" + std::to_string(t_);
+}
+
+const graph& sorted_path_adversary::topology(round_t,
+                                             const knowledge_view& view) {
+  const std::size_t n = view.node_count();
+  std::vector<node_id> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+    const std::size_t ka = view.knowledge(a);
+    const std::size_t kb = view.knowledge(b);
+    return ascending_ ? ka < kb : ka > kb;
+  });
+  graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(order[i], order[i + 1]);
+  current_ = std::move(g);
+  return current_;
+}
+
+std::unique_ptr<adversary> make_static_path(std::size_t n) {
+  return std::make_unique<static_adversary>(gen::path(n));
+}
+
+std::unique_ptr<adversary> make_static_star(std::size_t n) {
+  return std::make_unique<static_adversary>(gen::star(n));
+}
+
+std::unique_ptr<adversary> make_permuted_path(std::size_t n,
+                                              std::uint64_t seed) {
+  return std::make_unique<generator_adversary>(
+      "permuted-path", [n](rng& r) { return gen::permuted_path(n, r); }, seed);
+}
+
+std::unique_ptr<adversary> make_random_connected(std::size_t n,
+                                                 std::size_t extra_edges,
+                                                 std::uint64_t seed) {
+  return std::make_unique<generator_adversary>(
+      "random-connected",
+      [n, extra_edges](rng& r) { return gen::random_connected(n, extra_edges, r); },
+      seed);
+}
+
+std::unique_ptr<adversary> make_random_geometric(std::size_t n, double radius,
+                                                 std::uint64_t seed) {
+  return std::make_unique<generator_adversary>(
+      "random-geometric",
+      [n, radius](rng& r) { return gen::random_geometric(n, radius, r); },
+      seed);
+}
+
+std::unique_ptr<adversary> make_sorted_path() {
+  return std::make_unique<sorted_path_adversary>();
+}
+
+std::unique_ptr<adversary> make_t_stable(std::unique_ptr<adversary> inner,
+                                         round_t t) {
+  return std::make_unique<t_stable_adversary>(std::move(inner), t);
+}
+
+std::unique_ptr<adversary> make_t_interval(std::size_t n, round_t t,
+                                           std::size_t extra_edges,
+                                           std::uint64_t seed) {
+  return std::make_unique<t_interval_adversary>(n, t, extra_edges, seed);
+}
+
+}  // namespace ncdn

@@ -1,0 +1,153 @@
+// The adversary chooses the communication graph each round (paper §4.1).
+//
+// Ordering, faithful to the paper's *adaptive adversary*: at the start of a
+// round the adversary sees the complete current state of all nodes (exposed
+// through `knowledge_view`), commits a connected topology, and only then do
+// nodes draw their (possibly random) messages.  The omniscient adversary of
+// §6 additionally knows future coin flips; it lives next to the protocol it
+// attacks (protocols/deterministic_nc) because it inspects coding state
+// directly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/rng.hpp"
+#include "dynnet/generators.hpp"
+#include "dynnet/graph.hpp"
+
+namespace ncdn {
+
+/// Read-only view of node knowledge that adaptive adversaries may inspect.
+/// For coding protocols `knowledge(u)` is the rank of u's received span; for
+/// forwarding protocols it is the number of tokens u knows.
+class knowledge_view {
+ public:
+  virtual ~knowledge_view() = default;
+  virtual std::size_t node_count() const = 0;
+  virtual std::size_t knowledge(node_id u) const = 0;
+};
+
+/// Trivial view for protocol phases with no adversary-relevant state.
+class opaque_view final : public knowledge_view {
+ public:
+  explicit opaque_view(std::size_t n) : n_(n) {}
+  std::size_t node_count() const override { return n_; }
+  std::size_t knowledge(node_id) const override { return 0; }
+
+ private:
+  std::size_t n_;
+};
+
+class adversary {
+ public:
+  virtual ~adversary() = default;
+  /// The connected communication graph for round `r`.
+  virtual const graph& topology(round_t r, const knowledge_view& view) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fixed topology every round (the static-network degenerate case).
+class static_adversary final : public adversary {
+ public:
+  explicit static_adversary(graph g);
+  const graph& topology(round_t, const knowledge_view&) override {
+    return g_;
+  }
+  std::string name() const override { return "static"; }
+
+ private:
+  graph g_;
+};
+
+/// A fresh graph from a generator function every round (oblivious).
+class generator_adversary final : public adversary {
+ public:
+  using generator_fn = std::function<graph(rng&)>;
+  generator_adversary(std::string name, generator_fn fn, std::uint64_t seed);
+  const graph& topology(round_t r, const knowledge_view&) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  generator_fn fn_;
+  rng rng_;
+  graph current_;
+  round_t current_round_ = ~round_t{0};
+};
+
+/// T-stability wrapper (§8): delegates to an inner adversary but only lets
+/// the topology change every T rounds.
+class t_stable_adversary final : public adversary {
+ public:
+  t_stable_adversary(std::unique_ptr<adversary> inner, round_t t);
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override;
+  round_t stability() const noexcept { return t_; }
+
+ private:
+  std::unique_ptr<adversary> inner_;
+  round_t t_;
+  const graph* cached_ = nullptr;
+  round_t cached_window_ = ~round_t{0};
+};
+
+/// T-interval connectivity (the Kuhn et al. notion the paper's T-stability
+/// strengthens): within each window of T rounds a random spanning *tree*
+/// stays fixed, while extra edges are redrawn every round.  Harsher than
+/// T-stability — only the tree is dependable — and the model the paper's
+/// §9 asks about extending the patch algorithms to.
+class t_interval_adversary final : public adversary {
+ public:
+  t_interval_adversary(std::size_t n, round_t t, std::size_t extra_edges,
+                       std::uint64_t seed);
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override;
+  round_t interval() const noexcept { return t_; }
+
+ private:
+  std::size_t n_;
+  round_t t_;
+  std::size_t extra_edges_;
+  rng rng_;
+  graph tree_;
+  round_t tree_window_ = ~round_t{0};
+  graph current_;
+  round_t current_round_ = ~round_t{0};
+};
+
+/// Adaptive adversary: arranges nodes on a path sorted by current knowledge
+/// so that neighbours know (nearly) the same things — the canonical way to
+/// waste token-forwarding broadcasts (§5.2's "most token forwarding steps
+/// are therefore wasted" situation, engineered on purpose).
+class sorted_path_adversary final : public adversary {
+ public:
+  explicit sorted_path_adversary(bool ascending = true)
+      : ascending_(ascending) {}
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override { return "sorted-path"; }
+
+ private:
+  bool ascending_;
+  graph current_;
+};
+
+/// Convenience factories for the standard adversaries used by tests and
+/// benches.  `seed` feeds the adversary's private randomness.
+std::unique_ptr<adversary> make_static_path(std::size_t n);
+std::unique_ptr<adversary> make_static_star(std::size_t n);
+std::unique_ptr<adversary> make_permuted_path(std::size_t n, std::uint64_t seed);
+std::unique_ptr<adversary> make_random_connected(std::size_t n,
+                                                 std::size_t extra_edges,
+                                                 std::uint64_t seed);
+std::unique_ptr<adversary> make_random_geometric(std::size_t n, double radius,
+                                                 std::uint64_t seed);
+std::unique_ptr<adversary> make_sorted_path();
+std::unique_ptr<adversary> make_t_stable(std::unique_ptr<adversary> inner,
+                                         round_t t);
+std::unique_ptr<adversary> make_t_interval(std::size_t n, round_t t,
+                                           std::size_t extra_edges,
+                                           std::uint64_t seed);
+
+}  // namespace ncdn

@@ -1,0 +1,155 @@
+#include "dynnet/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ncdn::gen {
+
+graph path(std::size_t n) {
+  NCDN_EXPECTS(n >= 1);
+  graph g(n);
+  for (node_id u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+graph ring(std::size_t n) {
+  NCDN_EXPECTS(n >= 3);
+  graph g(n);
+  for (node_id u = 0; u < n; ++u) {
+    g.add_edge(u, static_cast<node_id>((u + 1) % n));
+  }
+  return g;
+}
+
+graph star(std::size_t n) {
+  NCDN_EXPECTS(n >= 2);
+  graph g(n);
+  for (node_id u = 1; u < n; ++u) g.add_edge(0, u);
+  return g;
+}
+
+graph clique(std::size_t n) {
+  NCDN_EXPECTS(n >= 1);
+  graph g(n);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+graph grid(std::size_t width, std::size_t height) {
+  NCDN_EXPECTS(width >= 1 && height >= 1);
+  graph g(width * height);
+  auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<node_id>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) g.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+graph binary_tree(std::size_t n) {
+  NCDN_EXPECTS(n >= 1);
+  graph g(n);
+  for (node_id u = 1; u < n; ++u) g.add_edge(u, (u - 1) / 2);
+  return g;
+}
+
+graph dumbbell(std::size_t n) {
+  NCDN_EXPECTS(n >= 2);
+  const std::size_t half = n / 2;
+  graph g(n);
+  for (node_id u = 0; u < half; ++u) {
+    for (node_id v = u + 1; v < half; ++v) g.add_edge(u, v);
+  }
+  for (node_id u = static_cast<node_id>(half); u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(static_cast<node_id>(half - 1), static_cast<node_id>(half));
+  return g;
+}
+
+graph random_tree(std::size_t n, rng& r) {
+  NCDN_EXPECTS(n >= 1);
+  graph g(n);
+  // Random attachment with a random node ordering produces a uniform-ish
+  // random tree shape; exact uniformity over labelled trees is not needed.
+  std::vector<node_id> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  r.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const node_id parent = order[r.below(i)];
+    g.add_edge(order[i], parent);
+  }
+  return g;
+}
+
+graph random_connected(std::size_t n, std::size_t extra_edges, rng& r) {
+  graph g = random_tree(n, r);
+  if (n < 2) return g;
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const node_id u = static_cast<node_id>(r.below(n));
+    node_id v = static_cast<node_id>(r.below(n - 1));
+    if (v >= u) ++v;
+    if (!g.has_edge(u, v)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+graph permuted_path(std::size_t n, rng& r) {
+  NCDN_EXPECTS(n >= 1);
+  std::vector<node_id> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  r.shuffle(order);
+  graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(order[i], order[i + 1]);
+  return g;
+}
+
+graph random_geometric(std::size_t n, double radius, rng& r) {
+  NCDN_EXPECTS(n >= 1);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = r.uniform01();
+    y[i] = r.uniform01();
+  }
+  graph g(n);
+  const double r2 = radius * radius;
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) {
+      const double dx = x[u] - x[v];
+      const double dy = y[u] - y[v];
+      if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+    }
+  }
+  // Patch connectivity: link each non-root component to its geometrically
+  // nearest already-connected node.
+  auto dist = g.bfs_distances(0);
+  for (node_id v = 0; v < n; ++v) {
+    if (dist[v] == infinite_distance) {
+      node_id best = 0;
+      double best_d = 1e300;
+      for (node_id u = 0; u < n; ++u) {
+        if (dist[u] != infinite_distance) {
+          const double dx = x[u] - x[v];
+          const double dy = y[u] - y[v];
+          const double d = dx * dx + dy * dy;
+          if (d < best_d) {
+            best_d = d;
+            best = u;
+          }
+        }
+      }
+      g.add_edge(v, best);
+      dist = g.bfs_distances(0);
+    }
+  }
+  return g;
+}
+
+}  // namespace ncdn::gen

@@ -1,0 +1,99 @@
+#include "dynnet/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ncdn {
+
+bool graph::has_edge(node_id u, node_id v) const noexcept {
+  NCDN_EXPECTS(u < order() && v < order());
+  const auto& smaller = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const node_id target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+void graph::normalize() {
+  std::size_t edges = 0;
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    edges += list.size();
+  }
+  edges_ = edges / 2;
+}
+
+bool graph::is_connected() const {
+  if (order() == 0) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == infinite_distance; });
+}
+
+std::vector<std::uint32_t> graph::bfs_distances(node_id src) const {
+  return bfs_distances(std::vector<node_id>{src});
+}
+
+std::vector<std::uint32_t> graph::bfs_distances(
+    const std::vector<node_id>& srcs) const {
+  std::vector<std::uint32_t> dist(order(), infinite_distance);
+  std::queue<node_id> q;
+  for (node_id s : srcs) {
+    NCDN_EXPECTS(s < order());
+    if (dist[s] == infinite_distance) {
+      dist[s] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const node_id u = q.front();
+    q.pop();
+    for (node_id v : adj_[u]) {
+      if (dist[v] == infinite_distance) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t graph::diameter() const {
+  std::uint32_t best = 0;
+  for (node_id u = 0; u < order(); ++u) {
+    const auto dist = bfs_distances(u);
+    for (std::uint32_t d : dist) {
+      if (d == infinite_distance) return infinite_distance;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+graph graph::power(std::uint32_t d) const {
+  NCDN_EXPECTS(d >= 1);
+  graph out(order());
+  for (node_id u = 0; u < order(); ++u) {
+    // Truncated BFS to depth d.
+    std::vector<std::uint32_t> dist(order(), infinite_distance);
+    std::queue<node_id> q;
+    dist[u] = 0;
+    q.push(u);
+    while (!q.empty()) {
+      const node_id x = q.front();
+      q.pop();
+      if (dist[x] == d) continue;
+      for (node_id y : adj_[x]) {
+        if (dist[y] == infinite_distance) {
+          dist[y] = dist[x] + 1;
+          q.push(y);
+        }
+      }
+    }
+    for (node_id v = u + 1; v < order(); ++v) {
+      if (dist[v] != infinite_distance && dist[v] >= 1) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ncdn

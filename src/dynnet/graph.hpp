@@ -1,0 +1,69 @@
+// Undirected graphs: the per-round communication topologies G(t) of the
+// dynamic network model (paper §4.1).  The model requires every G(t) to be
+// connected; `is_connected` backs that contract, and powers/BFS serve the
+// patching construction of §8.1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace ncdn {
+
+using node_id = std::uint32_t;
+using round_t = std::uint64_t;
+
+constexpr std::uint32_t infinite_distance = 0xffffffffu;
+
+class graph {
+ public:
+  graph() = default;
+  explicit graph(std::size_t n) : adj_(n) {}
+
+  std::size_t order() const noexcept { return adj_.size(); }
+  std::size_t edge_count() const noexcept { return edges_; }
+
+  void add_edge(node_id u, node_id v) {
+    NCDN_EXPECTS(u < order() && v < order() && u != v);
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    ++edges_;
+  }
+
+  std::span<const node_id> neighbors(node_id u) const noexcept {
+    NCDN_EXPECTS(u < order());
+    return adj_[u];
+  }
+
+  std::size_t degree(node_id u) const noexcept {
+    NCDN_EXPECTS(u < order());
+    return adj_[u].size();
+  }
+
+  bool has_edge(node_id u, node_id v) const noexcept;
+
+  /// Sorts adjacency lists and removes duplicate edges.
+  void normalize();
+
+  bool is_connected() const;
+
+  /// BFS distances from src (infinite_distance if unreachable).
+  std::vector<std::uint32_t> bfs_distances(node_id src) const;
+
+  /// BFS distances from a set of sources (multi-source BFS).
+  std::vector<std::uint32_t> bfs_distances(const std::vector<node_id>& srcs) const;
+
+  /// Exact diameter via n BFS runs; infinite_distance if disconnected.
+  std::uint32_t diameter() const;
+
+  /// D-th graph power: edge (u,v) iff 0 < dist(u,v) <= D.
+  graph power(std::uint32_t d) const;
+
+ private:
+  std::vector<std::vector<node_id>> adj_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace ncdn

@@ -1,0 +1,106 @@
+// The synchronous round engine of the dynamic network model (paper §4.1).
+//
+// One `step` is one communication round:
+//   1. the adversary sees node state (via the protocol's knowledge_view)
+//      and commits a connected topology G(t);
+//   2. every node chooses an O(b)-bit message *without* seeing G(t)
+//      (anonymous broadcast — the make-message callback receives only the
+//      node id and that node's private random stream);
+//   3. every node receives the messages of its G(t)-neighbours.
+//
+// The engine enforces the message-size budget: every message type reports
+// `bit_size()`, and the engine asserts it stays within slack * b, recording
+// the maximum for the experiment tables.  Protocols are free-running state
+// machines that call step() once per round — multi-phase algorithms
+// (gather, flood, broadcast, ...) read naturally as sequential code.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+#include "dynnet/adversary.hpp"
+#include "dynnet/graph.hpp"
+
+namespace ncdn {
+
+template <class M>
+concept sized_message = requires(const M& m) {
+  { m.bit_size() } -> std::convertible_to<std::size_t>;
+};
+
+class network {
+ public:
+  /// b_bits: the message-size parameter b; slack: the constant hidden in
+  /// the paper's "messages of size O(b)" (§7 explicitly ignores factors
+  /// of 2, so the default budget is 2b plus a logarithmic allowance for
+  /// epoch framing).
+  network(std::size_t n, std::size_t b_bits, adversary& adv,
+          std::uint64_t seed, double slack = 2.0);
+
+  std::size_t node_count() const noexcept { return n_; }
+  std::size_t message_budget_bits() const noexcept { return b_bits_; }
+  round_t rounds_elapsed() const noexcept { return round_; }
+  std::size_t max_observed_message_bits() const noexcept {
+    return max_message_bits_;
+  }
+  adversary& current_adversary() noexcept { return adv_; }
+
+  rng& node_rng(node_id u) noexcept {
+    NCDN_EXPECTS(u < n_);
+    return node_rngs_[u];
+  }
+
+  /// Runs one synchronized round.
+  ///
+  /// MakeMsg: node_id, rng& -> std::optional<Msg>  (nullopt = silent node)
+  /// Deliver: node_id, const std::vector<const Msg*>& -> void
+  template <class Msg, class MakeMsg, class Deliver>
+    requires sized_message<Msg>
+  void step(const knowledge_view& view, MakeMsg&& make, Deliver&& deliver) {
+    const graph& g = adv_.topology(round_, view);
+    NCDN_ASSERT(g.order() == n_);
+
+    messages_of_round<Msg> msgs;
+    msgs.reserve(n_);
+    for (node_id u = 0; u < n_; ++u) {
+      msgs.push_back(make(u, node_rngs_[u]));
+      if (msgs.back().has_value()) {
+        const std::size_t bits = msgs.back()->bit_size();
+        NCDN_ASSERT(static_cast<double>(bits) <=
+                    slack_ * static_cast<double>(b_bits_) + framing_bits_);
+        max_message_bits_ = std::max(max_message_bits_, bits);
+      }
+    }
+
+    std::vector<const Msg*> inbox;
+    for (node_id u = 0; u < n_; ++u) {
+      inbox.clear();
+      for (node_id v : g.neighbors(u)) {
+        if (msgs[v].has_value()) inbox.push_back(&*msgs[v]);
+      }
+      deliver(u, static_cast<const std::vector<const Msg*>&>(inbox));
+    }
+    ++round_;
+  }
+
+  /// Rounds in which all nodes stay silent (protocol-internal waiting while
+  /// staying synchronized); still counts toward the running time.
+  void silent_rounds(round_t count) { round_ += count; }
+
+ private:
+  template <class Msg>
+  using messages_of_round = std::vector<std::optional<Msg>>;
+
+  std::size_t n_;
+  std::size_t b_bits_;
+  double slack_;
+  double framing_bits_;
+  adversary& adv_;
+  round_t round_ = 0;
+  std::size_t max_message_bits_ = 0;
+  std::vector<rng> node_rngs_;
+};
+
+}  // namespace ncdn

@@ -1,0 +1,76 @@
+// Finite-field abstraction used throughout the coding layer.
+//
+// A field is a *type tag* exposing static arithmetic on `value_type`
+// (C++ Core Guidelines T.40-ish: prefer stateless function objects /
+// policies for algorithm parameterization).  Tokens are vectors over a
+// field (paper §5.1); the choice of field trades coefficient-header size
+// against adversary resistance:
+//
+//   gf2       — q = 2, one coefficient bit per token; the workhorse
+//               (§5.1 "For most of this paper one can choose q = 2").
+//   gf16/gf256/gf65536 — intermediate sizes; failure prob 1/q per hop.
+//   mersenne61 — q = 2^61 - 1; stands in for the q = n^Ω(k) fields of the
+//               derandomization section (§6, Theorem 6.1).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace ncdn {
+
+template <class F>
+concept finite_field = requires(typename F::value_type a, rng& r) {
+  typename F::value_type;
+  { F::order } -> std::convertible_to<std::uint64_t>;
+  { F::zero() } -> std::same_as<typename F::value_type>;
+  { F::one() } -> std::same_as<typename F::value_type>;
+  { F::add(a, a) } -> std::same_as<typename F::value_type>;
+  { F::sub(a, a) } -> std::same_as<typename F::value_type>;
+  { F::mul(a, a) } -> std::same_as<typename F::value_type>;
+  { F::inv(a) } -> std::same_as<typename F::value_type>;
+  { F::uniform(r) } -> std::same_as<typename F::value_type>;
+};
+
+/// GF(2): addition is XOR, multiplication is AND.
+struct gf2 {
+  using value_type = std::uint8_t;
+  static constexpr std::uint64_t order = 2;
+  static constexpr value_type zero() noexcept { return 0; }
+  static constexpr value_type one() noexcept { return 1; }
+  static constexpr value_type add(value_type a, value_type b) noexcept {
+    return a ^ b;
+  }
+  static constexpr value_type sub(value_type a, value_type b) noexcept {
+    return a ^ b;
+  }
+  static constexpr value_type mul(value_type a, value_type b) noexcept {
+    return a & b;
+  }
+  static constexpr value_type neg(value_type a) noexcept { return a; }
+  static value_type inv(value_type a) noexcept {
+    NCDN_EXPECTS(a != 0);
+    return 1;
+  }
+  static value_type uniform(rng& r) noexcept {
+    return static_cast<value_type>(r() & 1u);
+  }
+  static value_type uniform_nonzero(rng&) noexcept { return 1; }
+};
+
+/// Number of bits needed to store one coefficient of field F.
+template <finite_field F>
+constexpr unsigned coefficient_bits() noexcept {
+  // ceil(log2(order)); order is a compile-time constant for all our fields.
+  std::uint64_t o = F::order;
+  unsigned bits = 0;
+  std::uint64_t v = 1;
+  while (v < o) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,82 @@
+// GF(2^m) arithmetic for m in {4, 8, 16} via log/exp tables.
+//
+// Tables are built once at startup from an irreducible polynomial.  We do
+// not trust hard-coded primitivity: the builder searches for a generator
+// and verifies it has full multiplicative order 2^m - 1, which
+// simultaneously validates irreducibility of the modulus (a reducible
+// modulus has zero divisors and no element of full order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace ncdn {
+
+namespace detail {
+
+/// Shared log/exp table pack for one GF(2^m).
+struct gf2k_tables {
+  explicit gf2k_tables(unsigned m, std::uint32_t modulus_poly);
+
+  unsigned m;                       // extension degree
+  std::uint32_t poly;               // modulus polynomial (bit i = x^i)
+  std::uint32_t group_order;        // 2^m - 1
+  std::vector<std::uint16_t> log;   // log[a] for a in [1, 2^m)
+  std::vector<std::uint16_t> exp;   // exp[i] for i in [0, 2*(2^m-1)) (doubled)
+};
+
+const gf2k_tables& gf16_tables();
+const gf2k_tables& gf256_tables();
+const gf2k_tables& gf65536_tables();
+
+}  // namespace detail
+
+/// CRTP-free template: Tables() returns the table pack for this field.
+template <const detail::gf2k_tables& (*Tables)(), std::uint64_t Order>
+struct gf2k_field {
+  using value_type = std::uint16_t;
+  static constexpr std::uint64_t order = Order;
+
+  static constexpr value_type zero() noexcept { return 0; }
+  static constexpr value_type one() noexcept { return 1; }
+
+  static value_type add(value_type a, value_type b) noexcept { return a ^ b; }
+  static value_type sub(value_type a, value_type b) noexcept { return a ^ b; }
+  static value_type neg(value_type a) noexcept { return a; }
+
+  static value_type mul(value_type a, value_type b) noexcept {
+    if (a == 0 || b == 0) return 0;
+    const auto& t = Tables();
+    return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+  }
+
+  static value_type inv(value_type a) noexcept {
+    NCDN_EXPECTS(a != 0);
+    const auto& t = Tables();
+    return t.exp[t.group_order - t.log[a]];
+  }
+
+  static value_type div(value_type a, value_type b) noexcept {
+    if (a == 0) return 0;
+    NCDN_EXPECTS(b != 0);
+    const auto& t = Tables();
+    return t.exp[static_cast<std::size_t>(t.log[a]) + t.group_order -
+                 t.log[b]];
+  }
+
+  static value_type uniform(rng& r) noexcept {
+    return static_cast<value_type>(r.below(Order));
+  }
+  static value_type uniform_nonzero(rng& r) noexcept {
+    return static_cast<value_type>(1 + r.below(Order - 1));
+  }
+};
+
+using gf16 = gf2k_field<&detail::gf16_tables, 16>;
+using gf256 = gf2k_field<&detail::gf256_tables, 256>;
+using gf65536 = gf2k_field<&detail::gf65536_tables, 65536>;
+
+}  // namespace ncdn

@@ -1,0 +1,79 @@
+#include "gf/gf2k.hpp"
+
+#include <vector>
+
+namespace ncdn::detail {
+
+namespace {
+
+/// Carry-less multiply-then-reduce; only used while building tables.
+std::uint32_t slow_mul(std::uint32_t a, std::uint32_t b, unsigned m,
+                       std::uint32_t poly) {
+  std::uint64_t acc = 0;
+  std::uint64_t aa = a;
+  while (b != 0) {
+    if (b & 1u) acc ^= aa;
+    aa <<= 1;
+    b >>= 1;
+  }
+  // Reduce modulo poly (degree m).
+  for (int bit = 2 * static_cast<int>(m) - 2; bit >= static_cast<int>(m);
+       --bit) {
+    if (acc & (1ULL << bit)) {
+      acc ^= static_cast<std::uint64_t>(poly) << (bit - static_cast<int>(m));
+    }
+  }
+  return static_cast<std::uint32_t>(acc);
+}
+
+}  // namespace
+
+gf2k_tables::gf2k_tables(unsigned m_in, std::uint32_t modulus_poly)
+    : m(m_in), poly(modulus_poly) {
+  const std::uint32_t q = 1u << m;
+  group_order = q - 1;
+  log.assign(q, 0);
+  exp.assign(2 * static_cast<std::size_t>(group_order), 0);
+
+  // Find a generator: an element whose powers enumerate all q-1 nonzero
+  // elements.  Existence validates that `poly` is irreducible (and the
+  // generator primitive).  x = 2 works for our chosen polynomials but we
+  // search to stay robust against polynomial typos.
+  std::uint32_t generator = 0;
+  for (std::uint32_t cand = 2; cand < q && generator == 0; ++cand) {
+    std::uint32_t v = 1;
+    std::uint32_t steps = 0;
+    do {
+      v = slow_mul(v, cand, m, poly);
+      ++steps;
+    } while (v != 1 && steps <= group_order);
+    if (v == 1 && steps == group_order) generator = cand;
+  }
+  NCDN_ENSURES(generator != 0);
+
+  std::uint32_t v = 1;
+  for (std::uint32_t i = 0; i < group_order; ++i) {
+    exp[i] = static_cast<std::uint16_t>(v);
+    exp[i + group_order] = static_cast<std::uint16_t>(v);
+    log[v] = static_cast<std::uint16_t>(i);
+    v = slow_mul(v, generator, m, poly);
+  }
+  NCDN_ENSURES(v == 1);  // closed the cycle: full order confirmed
+}
+
+const gf2k_tables& gf16_tables() {
+  static const gf2k_tables t{4, 0x13};  // x^4 + x + 1
+  return t;
+}
+
+const gf2k_tables& gf256_tables() {
+  static const gf2k_tables t{8, 0x11D};  // x^8 + x^4 + x^3 + x^2 + 1
+  return t;
+}
+
+const gf2k_tables& gf65536_tables() {
+  static const gf2k_tables t{16, 0x1100B};  // x^16 + x^12 + x^3 + x + 1
+  return t;
+}
+
+}  // namespace ncdn::detail

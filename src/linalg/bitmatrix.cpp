@@ -1,0 +1,52 @@
+#include "linalg/bitmatrix.hpp"
+
+#include <algorithm>
+
+namespace ncdn {
+
+std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows) {
+  std::vector<bitvec> reduced;
+  std::vector<std::size_t> pivots;
+  for (bitvec& row : rows) {
+    // Forward-eliminate against the reduced set.
+    for (std::size_t i = 0; i < reduced.size(); ++i) {
+      if (row.get(pivots[i])) row.xor_with(reduced[i]);
+    }
+    const std::size_t p = row.first_set();
+    if (p == row.size()) continue;  // dependent
+    // Back-eliminate the new pivot from existing rows.
+    for (std::size_t i = 0; i < reduced.size(); ++i) {
+      if (reduced[i].get(p)) reduced[i].xor_with(row);
+    }
+    reduced.push_back(std::move(row));
+    pivots.push_back(p);
+  }
+  // Sort rows by pivot for a canonical RREF.
+  std::vector<std::size_t> order(reduced.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return pivots[a] < pivots[b]; });
+  std::vector<bitvec> sorted;
+  std::vector<std::size_t> sorted_pivots;
+  sorted.reserve(reduced.size());
+  for (std::size_t i : order) {
+    sorted.push_back(std::move(reduced[i]));
+    sorted_pivots.push_back(pivots[i]);
+  }
+  rows = std::move(sorted);
+  return sorted_pivots;
+}
+
+std::size_t gf2_rank(std::vector<bitvec> rows) {
+  return gf2_rref(rows).size();
+}
+
+bool gf2_in_span(const std::vector<bitvec>& basis, const bitvec& v) {
+  std::vector<bitvec> rows = basis;
+  const std::size_t r0 = gf2_rank(rows);
+  rows = basis;
+  rows.push_back(v);
+  return gf2_rank(rows) == r0;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,23 @@
+// Batch Gaussian elimination over GF(2) on word-packed rows.
+// The incremental decoder (decoder.hpp) is what protocols use online; these
+// helpers serve tests, the omniscient adversary (which evaluates prospective
+// rank growth), and one-shot rank computations.
+#pragma once
+
+#include <vector>
+
+#include "linalg/bitvec.hpp"
+
+namespace ncdn {
+
+/// Rank of the row space (rows consumed by value).
+std::size_t gf2_rank(std::vector<bitvec> rows);
+
+/// In-place reduced row echelon form; zero rows are dropped.
+/// Returns pivot column of each remaining row, in increasing order.
+std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows);
+
+/// True iff `v` lies in the span of `basis` (basis need not be reduced).
+bool gf2_in_span(const std::vector<bitvec>& basis, const bitvec& v);
+
+}  // namespace ncdn

@@ -1,0 +1,251 @@
+// Incremental (online) RLNC decoders.
+//
+// Every node maintains one decoder.  Each received coded packet is a row
+// [coefficients | payload]; insert() performs one step of online Gaussian
+// elimination, keeps the store in reduced row echelon form, and reports
+// whether the packet was *innovative* (increased the rank).  Decoding is a
+// lookup once the coefficient rank reaches k: the RREF rows are then
+// [e_i | token_i].
+//
+// Two implementations:
+//   bit_decoder        — q = 2, word-packed rows (the fast path; §5.1 takes
+//                        q = 2 throughout most of the paper).
+//   field_decoder<F>   — any finite_field F (GF(2^k) for hop-failure-rate
+//                        experiments, mersenne61 for §6 derandomization).
+//
+// Messages in the paper are random linear combinations of *all received
+// messages*; combining the decoder's basis rows spans the same subspace and
+// the projection analysis (Lemma 5.2) applies verbatim to any random
+// combination with independent uniform coefficients over a spanning set.
+// Recoding from the basis is also what practical RLNC implementations do.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "gf/field.hpp"
+#include "linalg/bitvec.hpp"
+
+namespace ncdn {
+
+class bit_decoder {
+ public:
+  bit_decoder() = default;
+  bit_decoder(std::size_t coeff_dim, std::size_t payload_bits)
+      : coeff_dim_(coeff_dim), payload_bits_(payload_bits) {}
+
+  std::size_t coeff_dim() const noexcept { return coeff_dim_; }
+  std::size_t payload_bits() const noexcept { return payload_bits_; }
+  std::size_t row_bits() const noexcept { return coeff_dim_ + payload_bits_; }
+  std::size_t rank() const noexcept { return rows_.size(); }
+  bool complete() const noexcept { return rank() == coeff_dim_; }
+
+  /// Inserts a coded row; returns true iff it was innovative.
+  /// Precondition: a row whose coefficient part eliminates to zero must
+  /// eliminate to the all-zero row (payloads are linear in coefficients);
+  /// violating rows indicate corrupted input and trip a contract.
+  bool insert(bitvec row) {
+    NCDN_EXPECTS(row.size() == row_bits());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (row.get(pivots_[i])) row.xor_with(rows_[i]);
+    }
+    const std::size_t p = row.first_set();
+    if (p >= coeff_dim_) {
+      NCDN_ASSERT(p == row.size());  // consistency: no pivot inside payload
+      return false;
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].get(p)) rows_[i].xor_with(row);
+    }
+    rows_.push_back(std::move(row));
+    pivots_.push_back(p);
+    return true;
+  }
+
+  /// Uniformly random combination of the basis (may be the zero vector).
+  /// Returns nullopt if nothing has been received yet.
+  std::optional<bitvec> random_combination(rng& r) const {
+    if (rows_.empty()) return std::nullopt;
+    bitvec out(row_bits());
+    for (const bitvec& row : rows_) {
+      if (r.coin()) out.xor_with(row);
+    }
+    return out;
+  }
+
+  /// True iff some basis row's coefficient part is non-orthogonal to mu
+  /// (Definition 5.1 "senses"; equivalent over the received span).
+  bool senses(const bitvec& mu) const {
+    NCDN_EXPECTS(mu.size() == coeff_dim_);
+    for (const bitvec& row : rows_) {
+      bool dot = false;
+      for (std::size_t i = mu.first_set(); i < mu.size();
+           i = mu.first_set_from(i + 1)) {
+        dot ^= row.get(i);
+      }
+      if (dot) return true;
+    }
+    return false;
+  }
+
+  /// True iff token i is decodable right now (e_i in the coefficient span).
+  bool can_decode(std::size_t i) const {
+    NCDN_EXPECTS(i < coeff_dim_);
+    // In RREF: e_i is in the span iff some row has pivot i and that row's
+    // other coefficient entries are zero.
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (pivots_[r] == i) {
+        const bitvec coeff = rows_[r].slice(0, coeff_dim_);
+        return coeff.popcount() == 1;
+      }
+    }
+    return false;
+  }
+
+  /// Payload of token i; requires complete().
+  bitvec decode(std::size_t i) const {
+    NCDN_EXPECTS(complete());
+    NCDN_EXPECTS(i < coeff_dim_);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (pivots_[r] == i) return rows_[r].slice(coeff_dim_, payload_bits_);
+    }
+    NCDN_ASSERT(false);
+    return bitvec{};
+  }
+
+  /// True iff `row` is already in the received span (non-mutating).
+  bool in_span(bitvec row) const {
+    NCDN_EXPECTS(row.size() == row_bits());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (row.get(pivots_[i])) row.xor_with(rows_[i]);
+    }
+    return row.first_set() == row.size();
+  }
+
+  const std::vector<bitvec>& basis() const noexcept { return rows_; }
+
+  void reset(std::size_t coeff_dim, std::size_t payload_bits) {
+    coeff_dim_ = coeff_dim;
+    payload_bits_ = payload_bits;
+    rows_.clear();
+    pivots_.clear();
+  }
+
+ private:
+  std::size_t coeff_dim_ = 0;
+  std::size_t payload_bits_ = 0;
+  std::vector<bitvec> rows_;      // maintained in RREF (unordered by pivot)
+  std::vector<std::size_t> pivots_;
+};
+
+/// Generic-field incremental decoder; rows are symbol vectors
+/// [k coefficients | payload symbols].
+template <finite_field F>
+class field_decoder {
+ public:
+  using value_type = typename F::value_type;
+  using row_type = std::vector<value_type>;
+
+  field_decoder() = default;
+  field_decoder(std::size_t coeff_dim, std::size_t payload_symbols)
+      : coeff_dim_(coeff_dim), payload_symbols_(payload_symbols) {}
+
+  std::size_t coeff_dim() const noexcept { return coeff_dim_; }
+  std::size_t payload_symbols() const noexcept { return payload_symbols_; }
+  std::size_t row_symbols() const noexcept {
+    return coeff_dim_ + payload_symbols_;
+  }
+  std::size_t rank() const noexcept { return rows_.size(); }
+  bool complete() const noexcept { return rank() == coeff_dim_; }
+
+  bool insert(row_type row) {
+    NCDN_EXPECTS(row.size() == row_symbols());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type c = row[pivots_[i]];
+      if (c != F::zero()) add_scaled(row, rows_[i], F::neg(c));
+    }
+    std::size_t p = 0;
+    while (p < coeff_dim_ && row[p] == F::zero()) ++p;
+    if (p == coeff_dim_) {
+      for (std::size_t s = coeff_dim_; s < row.size(); ++s) {
+        NCDN_ASSERT(row[s] == F::zero());
+      }
+      return false;
+    }
+    scale(row, F::inv(row[p]));
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type c = rows_[i][p];
+      if (c != F::zero()) add_scaled(rows_[i], row, F::neg(c));
+    }
+    rows_.push_back(std::move(row));
+    pivots_.push_back(p);
+    return true;
+  }
+
+  /// Random combination of the basis with uniform coefficients.
+  std::optional<row_type> random_combination(rng& r) const {
+    if (rows_.empty()) return std::nullopt;
+    row_type out(row_symbols(), F::zero());
+    for (const row_type& row : rows_) {
+      const value_type c = F::uniform(r);
+      if (c != F::zero()) add_scaled(out, row, c);
+    }
+    return out;
+  }
+
+  /// Combination with caller-supplied coefficients (advice-matrix path, §6).
+  row_type combine(const std::vector<value_type>& coeffs) const {
+    NCDN_EXPECTS(coeffs.size() >= rows_.size());
+    row_type out(row_symbols(), F::zero());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (coeffs[i] != F::zero()) add_scaled(out, rows_[i], coeffs[i]);
+    }
+    return out;
+  }
+
+  row_type decode(std::size_t i) const {
+    NCDN_EXPECTS(complete());
+    NCDN_EXPECTS(i < coeff_dim_);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (pivots_[r] == i) {
+        return row_type(rows_[r].begin() + static_cast<std::ptrdiff_t>(coeff_dim_),
+                        rows_[r].end());
+      }
+    }
+    NCDN_ASSERT(false);
+    return {};
+  }
+
+  /// True iff `row` is already in the received span (non-mutating).
+  bool in_span(row_type row) const {
+    NCDN_EXPECTS(row.size() == row_symbols());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type c = row[pivots_[i]];
+      if (c != F::zero()) add_scaled(row, rows_[i], F::neg(c));
+    }
+    for (const value_type& v : row) {
+      if (v != F::zero()) return false;
+    }
+    return true;
+  }
+
+  const std::vector<row_type>& basis() const noexcept { return rows_; }
+
+ private:
+  static void add_scaled(row_type& dst, const row_type& src, value_type s) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = F::add(dst[i], F::mul(s, src[i]));
+    }
+  }
+  static void scale(row_type& row, value_type s) {
+    for (auto& v : row) v = F::mul(v, s);
+  }
+
+  std::size_t coeff_dim_ = 0;
+  std::size_t payload_symbols_ = 0;
+  std::vector<row_type> rows_;
+  std::vector<std::size_t> pivots_;
+};
+
+}  // namespace ncdn

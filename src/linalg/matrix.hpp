@@ -1,0 +1,90 @@
+// Dense row-major matrix over an arbitrary finite field, plus Gaussian
+// elimination.  Used for the generic (q > 2) coding paths and as the
+// reference implementation the packed GF(2) code is property-tested against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "gf/field.hpp"
+
+namespace ncdn {
+
+template <finite_field F>
+class matrix {
+ public:
+  using value_type = typename F::value_type;
+
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, F::zero()) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  value_type& at(std::size_t r, std::size_t c) noexcept {
+    NCDN_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const value_type& at(std::size_t r, std::size_t c) const noexcept {
+    NCDN_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// row_dst += scale * row_src
+  void add_scaled_row(std::size_t dst, std::size_t src,
+                      value_type scale) noexcept {
+    NCDN_EXPECTS(dst < rows_ && src < rows_);
+    value_type* d = &data_[dst * cols_];
+    const value_type* s = &data_[src * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      d[c] = F::add(d[c], F::mul(scale, s[c]));
+    }
+  }
+
+  void scale_row(std::size_t r, value_type scale) noexcept {
+    NCDN_EXPECTS(r < rows_);
+    value_type* d = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) d[c] = F::mul(d[c], scale);
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) noexcept {
+    NCDN_EXPECTS(a < rows_ && b < rows_);
+    if (a == b) return;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::swap(data_[a * cols_ + c], data_[b * cols_ + c]);
+    }
+  }
+
+  /// In-place reduced row echelon form; returns the rank.
+  std::size_t rref() noexcept {
+    std::size_t pivot_row = 0;
+    for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
+      std::size_t sel = pivot_row;
+      while (sel < rows_ && at(sel, col) == F::zero()) ++sel;
+      if (sel == rows_) continue;
+      swap_rows(sel, pivot_row);
+      scale_row(pivot_row, F::inv(at(pivot_row, col)));
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (r != pivot_row && at(r, col) != F::zero()) {
+          add_scaled_row(r, pivot_row, F::neg(at(r, col)));
+        }
+      }
+      ++pivot_row;
+    }
+    return pivot_row;
+  }
+
+  std::size_t rank() const {
+    matrix copy = *this;
+    return copy.rref();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_type> data_;
+};
+
+}  // namespace ncdn

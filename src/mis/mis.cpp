@@ -1,0 +1,89 @@
+#include "mis/mis.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace ncdn {
+
+std::vector<node_id> luby_mis(const graph& g, rng& r) {
+  const std::size_t n = g.order();
+  std::vector<bool> active(n, true);
+  std::vector<bool> in_mis(n, false);
+  std::vector<std::uint64_t> prio(n);
+  std::size_t remaining = n;
+
+  while (remaining > 0) {
+    // Random priorities; ties broken by uid (priorities are 64-bit so ties
+    // are vanishingly rare anyway).
+    for (node_id u = 0; u < n; ++u) {
+      if (active[u]) prio[u] = r();
+    }
+    for (node_id u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      bool is_max = true;
+      for (node_id v : g.neighbors(u)) {
+        if (active[v] &&
+            (prio[v] > prio[u] || (prio[v] == prio[u] && v > u))) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) in_mis[u] = true;
+    }
+    for (node_id u = 0; u < n; ++u) {
+      if (!active[u] || !in_mis[u]) continue;
+      active[u] = false;
+      --remaining;
+      for (node_id v : g.neighbors(u)) {
+        if (active[v]) {
+          active[v] = false;
+          --remaining;
+        }
+      }
+    }
+  }
+
+  std::vector<node_id> out;
+  for (node_id u = 0; u < n; ++u) {
+    if (in_mis[u]) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<node_id> greedy_mis(const graph& g) {
+  const std::size_t n = g.order();
+  std::vector<bool> blocked(n, false);
+  std::vector<node_id> out;
+  for (node_id u = 0; u < n; ++u) {
+    if (blocked[u]) continue;
+    out.push_back(u);
+    for (node_id v : g.neighbors(u)) blocked[v] = true;
+  }
+  return out;
+}
+
+bool is_independent_set(const graph& g, const std::vector<node_id>& s) {
+  std::vector<bool> member(g.order(), false);
+  for (node_id u : s) member[u] = true;
+  for (node_id u : s) {
+    for (node_id v : g.neighbors(u)) {
+      if (member[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const graph& g,
+                                const std::vector<node_id>& s) {
+  if (!is_independent_set(g, s)) return false;
+  std::vector<bool> covered(g.order(), false);
+  for (node_id u : s) {
+    covered[u] = true;
+    for (node_id v : g.neighbors(u)) covered[v] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool c) { return c; });
+}
+
+}  // namespace ncdn

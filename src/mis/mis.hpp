@@ -1,0 +1,30 @@
+// Maximal independent sets (paper §8.1).
+//
+// The patching construction takes an MIS S of G^D and assigns every vertex
+// to its closest MIS vertex, giving connected patches of diameter O(D) and
+// size Omega(D).  Luby's permutation algorithm is the randomized MIS the
+// paper adapts; the deterministic greedy-by-UID MIS substitutes for the
+// Panconesi–Srinivasan algorithm the paper cites (see DESIGN.md §5 —
+// the patch construction only consumes MIS-ness, which both provide).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "dynnet/graph.hpp"
+
+namespace ncdn {
+
+/// Luby's algorithm: repeated rounds of random priorities; local maxima
+/// join, neighbours deactivate.  Returns the MIS members, sorted.
+std::vector<node_id> luby_mis(const graph& g, rng& r);
+
+/// Deterministic: scan by UID, greedily add any vertex with no smaller-UID
+/// neighbour already selected.
+std::vector<node_id> greedy_mis(const graph& g);
+
+/// Test oracles.
+bool is_independent_set(const graph& g, const std::vector<node_id>& s);
+bool is_maximal_independent_set(const graph& g, const std::vector<node_id>& s);
+
+}  // namespace ncdn

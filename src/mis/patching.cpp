@@ -1,0 +1,109 @@
+#include "mis/patching.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/contracts.hpp"
+
+namespace ncdn {
+
+patch_set build_patches(const graph& g, std::uint32_t d,
+                        const std::vector<node_id>& mis) {
+  NCDN_EXPECTS(d >= 1);
+  NCDN_EXPECTS(!mis.empty());
+  const std::size_t n = g.order();
+
+  patch_set p;
+  p.d_param = d;
+  p.leaders = mis;
+  std::sort(p.leaders.begin(), p.leaders.end());
+
+  // Distance from every leader (leaders are few: MIS of G^D).
+  std::vector<std::vector<std::uint32_t>> dist;
+  dist.reserve(p.leaders.size());
+  for (node_id s : p.leaders) dist.push_back(g.bfs_distances(s));
+
+  // Assign each vertex to the (distance, leader-uid)-lexicographic minimum.
+  p.patch_of.assign(n, 0);
+  p.depth.assign(n, 0);
+  for (node_id v = 0; v < n; ++v) {
+    std::uint32_t best_dist = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t best_patch = 0;
+    for (std::uint32_t i = 0; i < p.leaders.size(); ++i) {
+      if (dist[i][v] < best_dist) {
+        best_dist = dist[i][v];
+        best_patch = i;
+      }
+    }
+    NCDN_ASSERT(best_dist != std::numeric_limits<std::uint32_t>::max());
+    p.patch_of[v] = best_patch;
+    p.depth[v] = best_dist;
+  }
+
+  // Shortest-path-tree parents: the lowest-uid neighbour one step closer to
+  // the same leader and assigned to the same patch (always exists; see
+  // header file of the patching module).
+  p.parent.assign(n, 0);
+  p.children.assign(n, {});
+  p.members.assign(p.leaders.size(), {});
+  for (node_id v = 0; v < n; ++v) {
+    const std::uint32_t i = p.patch_of[v];
+    p.members[i].push_back(v);
+    if (p.depth[v] == 0) {
+      p.parent[v] = v;  // leader roots itself
+      continue;
+    }
+    node_id chosen = v;
+    for (node_id w : g.neighbors(v)) {
+      if (p.patch_of[w] == i && p.depth[w] + 1 == p.depth[v]) {
+        if (chosen == v || w < chosen) chosen = w;
+      }
+    }
+    NCDN_ASSERT(chosen != v);
+    p.parent[v] = chosen;
+    p.children[chosen].push_back(v);
+  }
+  for (auto& c : p.children) std::sort(c.begin(), c.end());
+  return p;
+}
+
+bool patches_valid(const graph& g, const patch_set& p) {
+  const std::size_t n = g.order();
+  if (p.patch_of.size() != n || p.depth.size() != n || p.parent.size() != n) {
+    return false;
+  }
+  // Tree consistency + depth bound.
+  for (node_id v = 0; v < n; ++v) {
+    if (p.depth[v] > p.d_param) return false;
+    if (p.depth[v] == 0) {
+      if (p.parent[v] != v) return false;
+      if (p.leaders[p.patch_of[v]] != v) return false;
+    } else {
+      const node_id w = p.parent[v];
+      if (!g.has_edge(v, w)) return false;
+      if (p.patch_of[w] != p.patch_of[v]) return false;
+      if (p.depth[w] + 1 != p.depth[v]) return false;
+    }
+  }
+  // Members partition the vertex set.
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < p.members.size(); ++i) {
+    total += p.members[i].size();
+    for (node_id v : p.members[i]) {
+      if (p.patch_of[v] != i) return false;
+    }
+  }
+  if (total != n) return false;
+  // Size bound: patch of leader u contains the full d/2-ball around u
+  // (leaders are > d apart, so any v with 2*dist(v,u) <= d is strictly
+  // closer to u than to any other leader).
+  for (std::uint32_t i = 0; i < p.leaders.size(); ++i) {
+    const auto dist = g.bfs_distances(p.leaders[i]);
+    for (node_id v = 0; v < n; ++v) {
+      if (dist[v] * 2 <= p.d_param && p.patch_of[v] != i) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ncdn

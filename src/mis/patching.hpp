@@ -1,0 +1,41 @@
+// Graph patching (paper §8.1): partition a (window-stable) graph into
+// connected patches of diameter O(D) and size Omega(D) around the vertices
+// of an MIS of G^D.
+//
+//   1. leaders = MIS of G^D;
+//   2. every vertex joins the patch of its closest leader (ties: lowest
+//      leader UID);
+//   3. each patch carries a shortest-path tree rooted at the leader, so
+//      ancestors of a patch member belong to the same patch (the paper's
+//      connectivity argument) and the depth — hence half the patch
+//      diameter — is at most D.
+#pragma once
+
+#include <vector>
+
+#include "dynnet/graph.hpp"
+
+namespace ncdn {
+
+struct patch_set {
+  std::uint32_t d_param = 0;
+  std::vector<node_id> leaders;             // patch index -> leader uid
+  std::vector<std::uint32_t> patch_of;      // node -> patch index
+  std::vector<std::uint32_t> depth;         // node -> depth in patch tree
+  std::vector<node_id> parent;              // node -> parent (self if leader)
+  std::vector<std::vector<node_id>> children;  // node -> tree children
+  std::vector<std::vector<node_id>> members;   // patch index -> nodes
+
+  std::size_t patch_count() const noexcept { return leaders.size(); }
+};
+
+/// Builds patches from a given MIS of g.power(d).
+patch_set build_patches(const graph& g, std::uint32_t d,
+                        const std::vector<node_id>& mis);
+
+/// Invariant oracle used by tests: connectivity, depth <= d, tree
+/// consistency, and the paper's size bound (patch containing leader u holds
+/// every vertex within distance d/2 of u).
+bool patches_valid(const graph& g, const patch_set& p);
+
+}  // namespace ncdn

@@ -1,0 +1,131 @@
+// Shared protocol infrastructure: per-node token knowledge, the
+// knowledge_view adapter for adaptive adversaries, and result records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coding/token.hpp"
+#include "dynnet/network.hpp"
+
+namespace ncdn {
+
+/// What every dissemination run reports.
+struct protocol_result {
+  round_t rounds = 0;            // rounds until protocol termination
+  round_t completion_round = 0;  // first round all nodes knew all tokens
+                                 // (observer-measured; 0 if never)
+  bool complete = false;         // all nodes know all k tokens at the end
+  bool early_stop = false;       // stopped on a configured threshold rather
+                                 // than full dissemination
+  std::size_t max_message_bits = 0;
+  std::size_t epochs = 0;        // protocol-specific loop iterations
+};
+
+/// Tracks which tokens each node knows, and which tokens are still "in
+/// consideration" (not yet removed by a completed broadcast, §7).  Tokens
+/// are referenced by their index in the sorted token_distribution — a
+/// simulation-side shorthand for the (id, payload) bits that actually cross
+/// the wire; the wire cost is charged by the protocols.
+class token_state final : public knowledge_view {
+ public:
+  explicit token_state(const token_distribution& dist)
+      : dist_(&dist),
+        known_(dist.n, bitvec(dist.k())),
+        remaining_(dist.n, bitvec(dist.k())),
+        known_count_(dist.n, 0),
+        remaining_count_(dist.n, 0) {
+    for (node_id u = 0; u < dist.n; ++u) {
+      for (std::size_t t : dist.held_by_node[u]) learn(u, t);
+    }
+  }
+
+  const token_distribution& distribution() const noexcept { return *dist_; }
+  std::size_t k() const noexcept { return dist_->k(); }
+
+  // --- knowledge_view (what the adaptive adversary may inspect, §4.1) ---
+  std::size_t node_count() const override { return dist_->n; }
+  std::size_t knowledge(node_id u) const override { return known_count_[u]; }
+
+  bool knows(node_id u, std::size_t t) const { return known_[u].get(t); }
+  std::size_t known_count(node_id u) const { return known_count_[u]; }
+
+  void learn(node_id u, std::size_t t) {
+    if (!known_[u].get(t)) {
+      known_[u].set(t);
+      ++known_count_[u];
+      if (!retired_.empty() && retired_.get(t)) return;
+      remaining_[u].set(t);
+      ++remaining_count_[u];
+    }
+  }
+
+  // --- the "remove from consideration" bookkeeping of §7 ---
+  bool in_consideration(node_id u, std::size_t t) const {
+    return remaining_[u].get(t);
+  }
+  std::size_t remaining_count(node_id u) const { return remaining_count_[u]; }
+  const bitvec& remaining_mask(node_id u) const { return remaining_[u]; }
+
+  /// Node u removes token t from its own consideration set (it may or may
+  /// not know the token).  Global retirement is per-node because a node
+  /// that missed a broadcast keeps the token in play (Las Vegas safety).
+  void retire(node_id u, std::size_t t) {
+    if (remaining_[u].get(t)) {
+      remaining_[u].set(t, false);
+      --remaining_count_[u];
+    }
+  }
+
+  /// Marks t retired for all *future* learners too (call when every node
+  /// confirmed decoding).
+  void retire_everywhere(std::size_t t) {
+    if (retired_.empty()) retired_ = bitvec(k());
+    retired_.set(t);
+    for (node_id u = 0; u < dist_->n; ++u) retire(u, t);
+  }
+
+  /// Puts a known token back into u's consideration set (failure-recovery
+  /// path: a missed coded broadcast vetoes the epoch's retirement, §7 /
+  /// Las Vegas guarantee).
+  void reinstate(node_id u, std::size_t t) {
+    NCDN_EXPECTS(knows(u, t));
+    if (!remaining_[u].get(t)) {
+      remaining_[u].set(t);
+      ++remaining_count_[u];
+    }
+  }
+
+  /// True iff every node knows every token.
+  bool all_complete() const {
+    for (node_id u = 0; u < dist_->n; ++u) {
+      if (known_count_[u] != k()) return false;
+    }
+    return true;
+  }
+
+  /// Number of nodes that know token t (the paper's c_i, Lemma 7.4).
+  std::size_t knowers(std::size_t t) const {
+    std::size_t c = 0;
+    for (node_id u = 0; u < dist_->n; ++u) {
+      if (known_[u].get(t)) ++c;
+    }
+    return c;
+  }
+
+ private:
+  const token_distribution* dist_;
+  std::vector<bitvec> known_;      // node -> k-bit membership
+  std::vector<bitvec> remaining_;  // node -> known-or-not, still in play
+  bitvec retired_;                 // globally retired (lazy-initialized)
+  std::vector<std::size_t> known_count_;
+  std::vector<std::size_t> remaining_count_;
+};
+
+/// Tokens are compared as d-bit strings (the "smallest token" order used by
+/// the flooding baselines).  The distribution is sorted by token_id, so we
+/// precompute the payload-lexicographic order once.
+std::vector<std::size_t> payload_order(const token_distribution& dist);
+
+}  // namespace ncdn

@@ -1,0 +1,149 @@
+#include "protocols/flooding.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/bits.hpp"
+
+namespace ncdn {
+
+namespace {
+
+/// A token-forwarding message: up to B tokens, each d bits on the wire.
+struct forward_msg {
+  std::vector<std::size_t> tokens;  // global token indices (wire: payloads)
+  std::size_t d_bits = 0;
+  std::size_t bit_size() const noexcept { return tokens.size() * d_bits; }
+};
+
+}  // namespace
+
+protocol_result run_flooding(network& net, token_state& st,
+                             const flooding_config& cfg) {
+  const token_distribution& dist = st.distribution();
+  const std::size_t n = dist.n;
+  const std::size_t k = dist.k();
+  const std::size_t d = dist.d_bits;
+  NCDN_EXPECTS(cfg.b_bits >= d);
+  const std::size_t batch = std::max<std::size_t>(1, cfg.b_bits / d);
+
+  // Tokens are compared as d-bit strings; precompute that order once and
+  // work in rank space (rank r <-> token order[r]).
+  const std::vector<std::size_t> order = payload_order(dist);
+  std::vector<std::size_t> rank_of(k);
+  for (std::size_t i = 0; i < k; ++i) rank_of[order[i]] = i;
+
+  // active_[u]: ranks known to u and not yet finalized (sorted).
+  // unsent_[u]: pipelined mode only — active ranks not yet sent this phase.
+  std::vector<std::set<std::size_t>> active(n);
+  std::vector<std::set<std::size_t>> unsent(cfg.pipelined ? n : 0);
+  for (node_id u = 0; u < n; ++u) {
+    for (std::size_t t : dist.held_by_node[u]) active[u].insert(rank_of[t]);
+  }
+
+  const round_t phase_len = static_cast<round_t>(std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.phase_factor * static_cast<double>(n))));
+  const std::size_t phases = (k + batch - 1) / batch;
+
+  protocol_result res;
+  const round_t start_round = net.rounds_elapsed();
+
+  auto learn = [&](node_id u, std::size_t t) {
+    if (!st.knows(u, t)) {
+      st.learn(u, t);
+      active[u].insert(rank_of[t]);
+      if (cfg.pipelined) unsent[u].insert(rank_of[t]);
+    }
+  };
+
+  if (cfg.pipelined) {
+    // Streaming mode: no finalization schedule (see header); run until the
+    // observer sees completion or a generous cap.
+    for (node_id u = 0; u < n; ++u) unsent[u] = active[u];
+    const round_t cap = 4 * static_cast<round_t>(phases) * phase_len +
+                        4 * static_cast<round_t>(n);
+    for (round_t r = 0; r < cap && !st.all_complete(); ++r) {
+      net.step<forward_msg>(
+          st,
+          [&](node_id u, rng&) -> std::optional<forward_msg> {
+            if (unsent[u].empty()) unsent[u] = active[u];  // restart stream
+            forward_msg m;
+            m.d_bits = d;
+            auto it = unsent[u].begin();
+            while (it != unsent[u].end() && m.tokens.size() < batch) {
+              m.tokens.push_back(order[*it]);
+              it = unsent[u].erase(it);
+            }
+            if (m.tokens.empty()) return std::nullopt;
+            return m;
+          },
+          [&](node_id u, const std::vector<const forward_msg*>& inbox) {
+            for (const forward_msg* m : inbox) {
+              for (std::size_t t : m->tokens) learn(u, t);
+            }
+          });
+    }
+    res.rounds = net.rounds_elapsed() - start_round;
+    res.complete = st.all_complete();
+    res.completion_round = res.complete ? res.rounds : 0;
+    res.max_message_bits = net.max_observed_message_bits();
+    res.epochs = 1;
+    return res;
+  }
+
+  for (std::size_t phase = 0; phase < phases; ++phase) {
+    for (round_t r = 0; r < phase_len; ++r) {
+      net.step<forward_msg>(
+          st,
+          [&](node_id u, rng&) -> std::optional<forward_msg> {
+            forward_msg m;
+            m.d_bits = d;
+            auto it = active[u].begin();
+            for (; it != active[u].end() && m.tokens.size() < batch; ++it) {
+              m.tokens.push_back(order[*it]);
+            }
+            if (m.tokens.empty()) return std::nullopt;
+            return m;
+          },
+          [&](node_id u, const std::vector<const forward_msg*>& inbox) {
+            for (const forward_msg* m : inbox) {
+              for (std::size_t t : m->tokens) learn(u, t);
+            }
+          });
+      if (res.completion_round == 0 && st.all_complete()) {
+        res.completion_round = net.rounds_elapsed() - start_round;
+      }
+    }
+    // Phase boundary: every node finalizes its `batch` smallest known
+    // non-finalized tokens.  The min-flood argument (header comment)
+    // guarantees all nodes pick the same set; asserted here.
+    std::vector<std::size_t> first_choice;
+    for (node_id u = 0; u < n; ++u) {
+      std::vector<std::size_t> done;  // ranks
+      auto it = active[u].begin();
+      for (; it != active[u].end() && done.size() < batch; ++it) {
+        done.push_back(*it);
+      }
+      if (u == 0) {
+        first_choice = done;
+      } else {
+        NCDN_ASSERT(done == first_choice);  // min-flood agreement
+      }
+      for (std::size_t rk : done) {
+        active[u].erase(rk);
+        st.retire(u, order[rk]);
+      }
+    }
+  }
+
+  res.rounds = net.rounds_elapsed() - start_round;
+  res.complete = st.all_complete();
+  if (res.completion_round == 0 && res.complete) {
+    res.completion_round = res.rounds;
+  }
+  res.max_message_bits = net.max_observed_message_bits();
+  res.epochs = phases;
+  return res;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,161 @@
+#include "protocols/greedy_forward.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/bits.hpp"
+#include "protocols/random_forward.hpp"
+#include "protocols/rlnc_broadcast.hpp"
+
+namespace ncdn {
+
+namespace {
+
+/// Map from payload hash to token index, for recognizing decoded payloads.
+/// (Simulation-side shorthand: on the wire the payload *is* the token.)
+std::unordered_map<std::uint64_t, std::size_t> payload_index(
+    const token_distribution& dist) {
+  std::unordered_map<std::uint64_t, std::size_t> map;
+  map.reserve(dist.k());
+  for (std::size_t t = 0; t < dist.k(); ++t) {
+    map.emplace(dist.tokens[t].payload.hash(), t);
+  }
+  NCDN_ENSURES(map.size() == dist.k());  // payloads are distinct
+  return map;
+}
+
+}  // namespace
+
+protocol_result run_greedy_forward(network& net, token_state& st,
+                                   const greedy_forward_config& cfg) {
+  const token_distribution& dist = st.distribution();
+  const std::size_t n = dist.n;
+  const std::size_t d = dist.d_bits;
+  NCDN_EXPECTS(cfg.b_bits >= d);
+  const coded_budget budget = block_budget(cfg.b_bits, d);
+  const auto by_payload = payload_index(dist);
+
+  const std::size_t max_epochs =
+      cfg.max_epochs != 0 ? cfg.max_epochs : 16 + 8 * dist.k();
+
+  protocol_result res;
+  const round_t start = net.rounds_elapsed();
+
+  // Failure-recovery state: which nodes must raise the flag, and the token
+  // set of the previous epoch (recorded by nodes that decoded it).
+  std::vector<bool> raise_fail(n, false);
+  std::vector<std::vector<std::size_t>> last_epoch_tokens(n);
+
+  gather_config gcfg;
+  gcfg.b_bits = cfg.b_bits;
+  gcfg.gather_factor = cfg.gather_factor;
+  gcfg.flood_factor = cfg.flood_factor;
+
+  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+    // --- gather + identify (also the termination / failure channel) ---
+    const gather_result g = run_random_forward(net, st, gcfg, &raise_fail);
+    std::fill(raise_fail.begin(), raise_fail.end(), false);
+
+    if (g.fail_seen) {
+      // Someone missed the previous broadcast: undo its retirement.
+      for (node_id u = 0; u < n; ++u) {
+        for (std::size_t t : last_epoch_tokens[u]) st.reinstate(u, t);
+        last_epoch_tokens[u].clear();
+      }
+    } else {
+      for (auto& v : last_epoch_tokens) v.clear();
+      if (g.leader_count == 0) {
+        res.epochs = epoch + 1;
+        break;  // nothing remains anywhere: terminate
+      }
+      if (cfg.stop_when_gather_below != 0 &&
+          g.leader_count < cfg.stop_when_gather_below) {
+        res.epochs = epoch + 1;
+        res.early_stop = true;  // hand off to priority-forward (§7)
+        break;
+      }
+    }
+    if (g.fail_seen && g.leader_count == 0) {
+      // Reinstated tokens exist but were not gatherable this epoch; loop.
+      continue;
+    }
+    if (g.leader_count == 0) continue;
+
+    // --- leader groups its tokens into blocks (indexing is trivial: the
+    //     leader owns every broadcast item, §7) ---
+    const node_id leader = g.leader;
+    std::vector<std::size_t> chosen;  // token indices, deterministic order
+    {
+      const bitvec& mask = st.remaining_mask(leader);
+      for (std::size_t t = mask.first_set();
+           t < mask.size() && chosen.size() < budget.tokens_total;
+           t = mask.first_set_from(t + 1)) {
+        chosen.push_back(t);
+      }
+    }
+    NCDN_ASSERT(!chosen.empty());
+    const std::size_t k_items =
+        ceil_div(chosen.size(), budget.tokens_per_item);
+
+    // Globally computable broadcast length: every node knows leader_count
+    // from the flood, hence the item count cap.
+    const std::size_t k_cap = static_cast<std::size_t>(ceil_div(
+        std::min(g.leader_count, budget.tokens_total), budget.tokens_per_item));
+    NCDN_ASSERT(k_items <= k_cap);
+    const round_t bc_rounds = static_cast<round_t>(std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.broadcast_factor *
+                                    static_cast<double>(n + k_cap))));
+
+    rlnc_session session(n, k_items, budget.item_bits);
+    for (std::size_t i = 0; i < k_items; ++i) {
+      bitvec block(budget.item_bits);
+      for (std::size_t j = 0; j < budget.tokens_per_item; ++j) {
+        const std::size_t idx = i * budget.tokens_per_item + j;
+        if (idx >= chosen.size()) break;  // zero padding
+        block.copy_bits_from(dist.tokens[chosen[idx]].payload, 0, d, j * d);
+      }
+      session.seed(leader, i, block);
+    }
+    session.run(net, bc_rounds, /*stop_early=*/false);
+
+    // --- decode, learn, retire ---
+    for (node_id u = 0; u < n; ++u) {
+      if (!session.node_complete(u)) {
+        raise_fail[u] = true;  // veto retirement in the next flood
+        last_epoch_tokens[u].clear();
+        continue;
+      }
+      std::vector<std::size_t> decoded_tokens;
+      for (std::size_t i = 0; i < k_items; ++i) {
+        const bitvec block = session.decoder(u).decode(i);
+        for (std::size_t j = 0; j < budget.tokens_per_item; ++j) {
+          const bitvec payload = block.slice(j * d, d);
+          if (!payload.any()) continue;  // padding
+          const auto it = by_payload.find(payload.hash());
+          NCDN_ASSERT(it != by_payload.end());
+          decoded_tokens.push_back(it->second);
+        }
+      }
+      for (std::size_t t : decoded_tokens) {
+        st.learn(u, t);
+        st.retire(u, t);
+      }
+      last_epoch_tokens[u] = std::move(decoded_tokens);
+    }
+
+    if (res.completion_round == 0 && st.all_complete()) {
+      res.completion_round = net.rounds_elapsed() - start;
+    }
+    res.epochs = epoch + 1;
+  }
+
+  res.rounds = net.rounds_elapsed() - start;
+  res.complete = st.all_complete();
+  if (res.completion_round == 0 && res.complete) {
+    res.completion_round = res.rounds;
+  }
+  res.max_message_bits = net.max_observed_message_bits();
+  return res;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,25 @@
+// Naive indexed dissemination (paper Corollary 7.1).
+//
+// Nodes self-generate O(log n)-bit token IDs (origin UID + sequence no).
+// Each iteration floods the m = Theta(b / log n) smallest unretired IDs for
+// O(n) rounds (batched min-flood, so everyone agrees), indexes them by
+// sorted order, and RLNC-broadcasts the corresponding m tokens in O(n + m)
+// rounds.  Total: O(nk log n / b) rounds — only a log n / d factor better
+// than forwarding, which is the paper's motivation for replacing
+// flooding-based indexing with *gathering* (greedy/priority-forward).
+#pragma once
+
+#include "protocols/common.hpp"
+
+namespace ncdn {
+
+struct naive_indexed_config {
+  std::size_t b_bits = 0;
+  double broadcast_factor = 4.0;  // whp constant, see greedy_forward_config
+  std::size_t max_iterations = 0;  // 0 = auto
+};
+
+protocol_result run_naive_indexed(network& net, token_state& st,
+                                  const naive_indexed_config& cfg);
+
+}  // namespace ncdn

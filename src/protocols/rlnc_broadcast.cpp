@@ -1,0 +1,49 @@
+#include "protocols/rlnc_broadcast.hpp"
+
+namespace ncdn {
+
+rlnc_session::rlnc_session(std::size_t n, std::size_t items,
+                           std::size_t item_bits)
+    : items_(items),
+      item_bits_(item_bits),
+      decoders_(n, bit_decoder(items, item_bits)) {
+  NCDN_EXPECTS(items >= 1);
+  NCDN_EXPECTS(item_bits >= 1);
+}
+
+void rlnc_session::seed(node_id u, std::size_t index, const bitvec& payload) {
+  NCDN_EXPECTS(u < decoders_.size());
+  NCDN_EXPECTS(index < items_);
+  NCDN_EXPECTS(payload.size() == item_bits_);
+  bitvec row(items_ + item_bits_);
+  row.set(index);
+  row.copy_bits_from(payload, 0, item_bits_, items_);
+  decoders_[u].insert(std::move(row));
+}
+
+round_t rlnc_session::run(network& net, round_t max_rounds, bool stop_early) {
+  round_t used = 0;
+  for (; used < max_rounds; ++used) {
+    if (stop_early && all_complete()) break;
+    net.step<coded_msg>(
+        *this,
+        [&](node_id u, rng& r) -> std::optional<coded_msg> {
+          auto combo = decoders_[u].random_combination(r);
+          if (!combo) return std::nullopt;
+          return coded_msg{std::move(*combo)};
+        },
+        [&](node_id u, const std::vector<const coded_msg*>& inbox) {
+          for (const coded_msg* m : inbox) decoders_[u].insert(m->row);
+        });
+  }
+  return used;
+}
+
+bool rlnc_session::all_complete() const {
+  for (const auto& d : decoders_) {
+    if (!d.complete()) return false;
+  }
+  return true;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,150 @@
+// Random linear network coding k-indexed-broadcast (paper §5, Lemma 5.3).
+//
+// k' indexed items of s bits live at (at least) one node each as vectors
+// [e_i | payload_i] over F_q.  Every round, every node broadcasts a uniform
+// random linear combination spanning everything it has received; messages
+// cost k' * lg q + s bits.  Lemma 5.3: all nodes decode all items within
+// O(n + k') rounds with probability 1 - q^{-n} against the adaptive
+// adversary, for any field size q >= 2.
+//
+// The packed GF(2) session is the workhorse used by every gathering-based
+// dissemination algorithm (§7); the templated field session serves the
+// field-size experiments and the derandomization machinery of §6.
+#pragma once
+
+#include "coding/token.hpp"
+#include "dynnet/network.hpp"
+#include "gf/field.hpp"
+#include "linalg/decoder.hpp"
+
+namespace ncdn {
+
+/// A coded GF(2) message: the row [coefficients | payload].
+struct coded_msg {
+  bitvec row;
+  std::size_t bit_size() const noexcept { return row.size(); }
+};
+
+/// One indexed-broadcast instance over GF(2); per-node incremental decoders.
+class rlnc_session final : public knowledge_view {
+ public:
+  rlnc_session(std::size_t n, std::size_t items, std::size_t item_bits);
+
+  std::size_t items() const noexcept { return items_; }
+  std::size_t item_bits() const noexcept { return item_bits_; }
+
+  /// Gives node u the original item `index` (inserts [e_index | payload]).
+  void seed(node_id u, std::size_t index, const bitvec& payload);
+
+  /// Runs up to `max_rounds` coding rounds; if stop_early, returns as soon
+  /// as every node has full rank (observer-checked).  Returns rounds used.
+  round_t run(network& net, round_t max_rounds, bool stop_early);
+
+  bool all_complete() const;
+  bool node_complete(node_id u) const { return decoders_[u].complete(); }
+  const bit_decoder& decoder(node_id u) const { return decoders_[u]; }
+
+  /// knowledge_view: adaptive adversaries see the rank of each node's span
+  /// (the paper's knowledge-based notion for coding algorithms).
+  std::size_t node_count() const override { return decoders_.size(); }
+  std::size_t knowledge(node_id u) const override {
+    return decoders_[u].rank();
+  }
+
+ private:
+  std::size_t items_;
+  std::size_t item_bits_;
+  std::vector<bit_decoder> decoders_;
+};
+
+/// Generic-field variant (field-size sweeps, §6 derandomization).  Payload
+/// is carried as ceil(item_bits / lg q) field symbols.
+template <finite_field F>
+class field_rlnc_session final : public knowledge_view {
+ public:
+  using row_type = typename field_decoder<F>::row_type;
+
+  struct message {
+    row_type row;
+    std::size_t wire_bits = 0;
+    std::size_t bit_size() const noexcept { return wire_bits; }
+  };
+
+  field_rlnc_session(std::size_t n, std::size_t items, std::size_t item_bits)
+      : items_(items),
+        item_bits_(item_bits),
+        payload_symbols_((item_bits + coefficient_bits<F>() - 1) /
+                         coefficient_bits<F>()),
+        decoders_(n, field_decoder<F>(items, payload_symbols_)) {}
+
+  std::size_t items() const noexcept { return items_; }
+  std::size_t payload_symbols() const noexcept { return payload_symbols_; }
+  std::size_t wire_bits() const noexcept {
+    return (items_ + payload_symbols_) * coefficient_bits<F>();
+  }
+
+  void seed(node_id u, std::size_t index, const row_type& payload_symbols) {
+    NCDN_EXPECTS(payload_symbols.size() == payload_symbols_);
+    row_type row(items_ + payload_symbols_, F::zero());
+    row[index] = F::one();
+    std::copy(payload_symbols.begin(), payload_symbols.end(),
+              row.begin() + static_cast<std::ptrdiff_t>(items_));
+    decoders_[u].insert(std::move(row));
+  }
+
+  round_t run(network& net, round_t max_rounds, bool stop_early) {
+    round_t used = 0;
+    for (; used < max_rounds; ++used) {
+      if (stop_early && all_complete()) break;
+      net.step<message>(
+          *this,
+          [&](node_id u, rng& r) -> std::optional<message> {
+            auto combo = decoders_[u].random_combination(r);
+            if (!combo) return std::nullopt;
+            return message{std::move(*combo), wire_bits()};
+          },
+          [&](node_id u, const std::vector<const message*>& inbox) {
+            for (const message* m : inbox) decoders_[u].insert(m->row);
+          });
+    }
+    return used;
+  }
+
+  bool all_complete() const {
+    for (const auto& d : decoders_) {
+      if (!d.complete()) return false;
+    }
+    return true;
+  }
+
+  field_decoder<F>& decoder(node_id u) { return decoders_[u]; }
+  const field_decoder<F>& decoder(node_id u) const { return decoders_[u]; }
+
+  std::size_t node_count() const override { return decoders_.size(); }
+  std::size_t knowledge(node_id u) const override {
+    return decoders_[u].rank();
+  }
+
+ private:
+  std::size_t items_;
+  std::size_t item_bits_;
+  std::size_t payload_symbols_;
+  std::vector<field_decoder<F>> decoders_;
+};
+
+/// Chops a bit payload into field symbols of coefficient_bits<F>() bits.
+template <finite_field F>
+typename field_decoder<F>::row_type to_symbols(const bitvec& payload) {
+  const unsigned cb = coefficient_bits<F>();
+  const std::size_t m = (payload.size() + cb - 1) / cb;
+  typename field_decoder<F>::row_type out(m, F::zero());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload.get(i)) {
+      out[i / cb] = static_cast<typename F::value_type>(
+          out[i / cb] | (static_cast<std::uint64_t>(1) << (i % cb)));
+    }
+  }
+  return out;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,477 @@
+#include "protocols/tstable_dissemination.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "core/bits.hpp"
+#include "protocols/greedy_forward.hpp"
+#include "protocols/random_forward.hpp"
+
+namespace ncdn {
+
+namespace {
+
+std::unordered_map<std::uint64_t, std::size_t> payload_index(
+    const token_distribution& dist) {
+  std::unordered_map<std::uint64_t, std::size_t> map;
+  map.reserve(dist.k());
+  for (std::size_t t = 0; t < dist.k(); ++t) {
+    map.emplace(dist.tokens[t].payload.hash(), t);
+  }
+  return map;
+}
+
+struct engine_sizing {
+  tstable_engine engine = tstable_engine::plain;
+  std::size_t items = 0;
+  std::size_t item_bits = 0;
+  std::size_t tokens_per_item = 0;
+};
+
+engine_sizing choose_engine(const tstable_config& cfg, std::size_t n,
+                            std::size_t d) {
+  engine_sizing s;
+  const auto try_patch = [&]() -> bool {
+    const patch_plan plan =
+        plan_patch_broadcast(n, cfg.b_bits, cfg.t_stability);
+    if (!plan.feasible || plan.item_bits < d) return false;
+    s.engine = tstable_engine::patch;
+    s.items = plan.items;
+    s.item_bits = plan.item_bits;
+    s.tokens_per_item = plan.item_bits / d;
+    return true;
+  };
+  const auto try_chunked = [&]() -> bool {
+    const chunked_meta_session probe(n, cfg.b_bits, cfg.t_stability);
+    if (probe.item_bits() < d) return false;
+    s.engine = tstable_engine::chunked;
+    s.items = probe.items();
+    s.item_bits = probe.item_bits();
+    s.tokens_per_item = probe.item_bits() / d;
+    return true;
+  };
+  const auto plain = [&]() {
+    const coded_budget budget = block_budget(cfg.b_bits, d);
+    s.engine = tstable_engine::plain;
+    s.items = budget.items;
+    s.item_bits = budget.item_bits;
+    s.tokens_per_item = budget.tokens_per_item;
+  };
+  switch (cfg.engine) {
+    case tstable_engine::patch:
+    case tstable_engine::patch_gather:
+      NCDN_EXPECTS(try_patch());
+      if (cfg.engine == tstable_engine::patch_gather) {
+        s.engine = tstable_engine::patch_gather;
+      }
+      break;
+    case tstable_engine::chunked:
+      NCDN_EXPECTS(try_chunked());
+      break;
+    case tstable_engine::plain:
+      plain();
+      break;
+    case tstable_engine::auto_select:
+      if (!try_patch() && !try_chunked()) plain();
+      break;
+  }
+  return s;
+}
+
+/// One message of the in-patch token convergecast: a batch of token
+/// payloads (identified simulation-side by index) addressed up-tree.
+struct gather_up_msg {
+  std::vector<std::size_t> tokens;
+  node_id uid = 0;
+  std::size_t d_bits = 0;
+  std::size_t bit_size() const noexcept {
+    return tokens.size() * d_bits + 32;
+  }
+};
+
+struct block_ann_msg {
+  std::vector<node_id> holders;  // leader UIDs announcing a block
+  bool fail = false;
+  std::size_t uid_bits = 0;
+  std::size_t bit_size() const noexcept {
+    return holders.size() * uid_bits + 1;
+  }
+};
+
+/// §8.3 mode B: patch-pipelined gathering + patch broadcast.
+tstable_result run_patch_gather(network& net, token_state& st,
+                                const tstable_config& cfg,
+                                const engine_sizing& sizing) {
+  const token_distribution& dist = st.distribution();
+  const std::size_t n = dist.n;
+  const std::size_t d = dist.d_bits;
+  const round_t t = cfg.t_stability;
+  const patch_plan plan = plan_patch_broadcast(n, cfg.b_bits, t);
+  NCDN_EXPECTS(plan.feasible && plan.item_bits >= d);
+  const auto by_payload = payload_index(dist);
+
+  const std::size_t cap_tokens = plan.item_bits / d;  // per leader block
+  const std::size_t batch = std::max<std::size_t>(1, cfg.b_bits / d);
+  const std::size_t uid_bits = bits_for(n);
+  const std::size_t anns_per_msg =
+      std::max<std::size_t>(1, cfg.b_bits / uid_bits);
+  const std::size_t s_cap = std::min(plan.items, anns_per_msg);
+
+  tstable_result res;
+  res.engine_used = tstable_engine::patch_gather;
+  res.tokens_per_epoch = s_cap * cap_tokens;
+  const round_t start = net.rounds_elapsed();
+
+  const std::size_t max_epochs =
+      cfg.max_epochs != 0 ? cfg.max_epochs : 16 + 8 * dist.k();
+  const double t_d = static_cast<double>(t);
+  const round_t bc_cap = static_cast<round_t>(
+      cfg.broadcast_cap_factor *
+      (static_cast<double>(n) + static_cast<double>(cfg.b_bits) * t_d * t_d) *
+      static_cast<double>(log2ceil(n) + 2));
+
+  std::vector<bool> raise_fail(n, false);
+  std::vector<std::vector<std::size_t>> last_epoch_tokens(n);
+
+  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+    res.epochs = epoch + 1;
+    // --- patches for this window ---
+    const round_t mis_align = net.rounds_elapsed() % t;
+    if (mis_align != 0) net.silent_rounds(t - mis_align);
+    const round_t window_end = net.rounds_elapsed() + t;
+    built_patches bp;
+    if (!build_patches_distributed(net, plan, bp)) {
+      net.silent_rounds(window_end - net.rounds_elapsed());
+      continue;  // whp-rare; retry next window
+    }
+
+    // --- in-patch convergecast for the rest of the window: every node
+    //     streams its in-consideration tokens up the tree; leaders gather
+    //     up to one block ---
+    std::vector<std::vector<std::size_t>> queue(n);
+    std::vector<bitvec> queued(n, bitvec(dist.k()));
+    for (node_id u = 0; u < n; ++u) {
+      const bitvec& mask = st.remaining_mask(u);
+      for (std::size_t tk = mask.first_set(); tk < mask.size();
+           tk = mask.first_set_from(tk + 1)) {
+        queue[u].push_back(tk);
+        queued[u].set(tk);
+      }
+    }
+    std::vector<std::vector<std::size_t>> gathered(n);
+    for (node_id u = 0; u < n; ++u) {
+      if (bp.is_leader[u]) {
+        // The leader's own tokens count toward its block.
+        for (std::size_t tk : queue[u]) {
+          if (gathered[u].size() >= cap_tokens) break;
+          gathered[u].push_back(tk);
+        }
+        queue[u].clear();
+      }
+    }
+    while (net.rounds_elapsed() < window_end) {
+      net.step<gather_up_msg>(
+          st,
+          [&](node_id u, rng&) -> std::optional<gather_up_msg> {
+            if (bp.is_leader[u] || queue[u].empty()) return std::nullopt;
+            gather_up_msg m;
+            m.uid = u;
+            m.d_bits = d;
+            const std::size_t take = std::min(batch, queue[u].size());
+            m.tokens.assign(queue[u].end() - static_cast<std::ptrdiff_t>(take),
+                            queue[u].end());
+            queue[u].resize(queue[u].size() - take);
+            return m;
+          },
+          [&](node_id u, const std::vector<const gather_up_msg*>& inbox) {
+            for (const gather_up_msg* m : inbox) {
+              const auto& kids = bp.children[u];
+              if (!std::binary_search(kids.begin(), kids.end(), m->uid)) {
+                continue;
+              }
+              for (std::size_t tk : m->tokens) {
+                st.learn(u, tk);  // relays learn what passes through them
+                if (bp.is_leader[u]) {
+                  if (gathered[u].size() < cap_tokens &&
+                      !queued[u].get(tk)) {
+                    gathered[u].push_back(tk);
+                    queued[u].set(tk);
+                  }
+                } else if (!queued[u].get(tk)) {
+                  queue[u].push_back(tk);
+                  queued[u].set(tk);
+                }
+              }
+            }
+          });
+    }
+
+    // --- index blocks: flood the holders' UIDs (plus the fail bit) for n
+    //     rounds; everyone selects the s_cap smallest consistently ---
+    std::vector<std::set<node_id>> known(n);
+    std::vector<bool> fail_bit(raise_fail.begin(), raise_fail.end());
+    std::fill(raise_fail.begin(), raise_fail.end(), false);
+    for (node_id u = 0; u < n; ++u) {
+      if (bp.is_leader[u] && !gathered[u].empty()) known[u].insert(u);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      net.step<block_ann_msg>(
+          st,
+          [&](node_id u, rng&) -> std::optional<block_ann_msg> {
+            block_ann_msg m;
+            m.uid_bits = uid_bits;
+            m.fail = fail_bit[u];
+            for (node_id h : known[u]) {
+              if (m.holders.size() >= anns_per_msg) break;
+              m.holders.push_back(h);
+            }
+            if (m.holders.empty() && !m.fail) return std::nullopt;
+            return m;
+          },
+          [&](node_id u, const std::vector<const block_ann_msg*>& inbox) {
+            for (const block_ann_msg* m : inbox) {
+              fail_bit[u] = fail_bit[u] || m->fail;
+              for (node_id h : m->holders) known[u].insert(h);
+            }
+          });
+    }
+    bool fail_seen = false;
+    for (node_id u = 0; u < n; ++u) fail_seen = fail_seen || fail_bit[u];
+    if (fail_seen) {
+      for (node_id u = 0; u < n; ++u) {
+        for (std::size_t tk : last_epoch_tokens[u]) st.reinstate(u, tk);
+        last_epoch_tokens[u].clear();
+      }
+      continue;
+    }
+    for (auto& v : last_epoch_tokens) v.clear();
+    // Only the s_cap smallest holder UIDs are guaranteed to have flooded
+    // to everyone (each message carries anns_per_msg >= s_cap of them, and
+    // min-flooding spreads the smallest set reliably in n rounds); the
+    // selection is their sorted prefix, on which all nodes agree.
+    auto prefix = [&](node_id u) {
+      std::vector<node_id> out;
+      for (node_id h : known[u]) {
+        if (out.size() >= s_cap) break;
+        out.push_back(h);
+      }
+      return out;
+    };
+    const std::vector<node_id> selected = prefix(0);
+    for (node_id u = 1; u < n; ++u) {
+      NCDN_ASSERT(prefix(u) == selected);  // min-flood agreement
+    }
+    if (selected.empty()) break;  // nothing left anywhere
+
+    // --- patch broadcast of the selected blocks ---
+    patch_plan bc_plan = plan;
+    bc_plan.items = selected.size();
+    tstable_patch_session session(bc_plan);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      bitvec block(plan.item_bits);
+      for (std::size_t j = 0; j < gathered[selected[i]].size(); ++j) {
+        block.copy_bits_from(dist.tokens[gathered[selected[i]][j]].payload,
+                             0, d, j * d);
+      }
+      session.seed(selected[i], i, block);
+    }
+    session.run(net, bc_cap, /*stop_early=*/true);
+
+    for (node_id u = 0; u < n; ++u) {
+      if (!session.node_complete(u)) {
+        raise_fail[u] = true;
+        continue;
+      }
+      std::vector<std::size_t> decoded;
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        const bitvec block = session.decoder(u).decode(i);
+        for (std::size_t j = 0; j < cap_tokens; ++j) {
+          const bitvec payload = block.slice(j * d, d);
+          if (!payload.any()) continue;
+          const auto it = by_payload.find(payload.hash());
+          NCDN_ASSERT(it != by_payload.end());
+          decoded.push_back(it->second);
+        }
+      }
+      for (std::size_t tk : decoded) {
+        st.learn(u, tk);
+        st.retire(u, tk);
+      }
+      last_epoch_tokens[u] = std::move(decoded);
+    }
+
+    if (res.completion_round == 0 && st.all_complete()) {
+      res.completion_round = net.rounds_elapsed() - start;
+    }
+  }
+
+  res.rounds = net.rounds_elapsed() - start;
+  res.complete = st.all_complete();
+  if (res.completion_round == 0 && res.complete) {
+    res.completion_round = res.rounds;
+  }
+  res.max_message_bits = net.max_observed_message_bits();
+  (void)sizing;
+  return res;
+}
+
+}  // namespace
+
+tstable_result run_tstable_dissemination(network& net, token_state& st,
+                                         const tstable_config& cfg) {
+  const token_distribution& dist = st.distribution();
+  const std::size_t n = dist.n;
+  const std::size_t d = dist.d_bits;
+  NCDN_EXPECTS(cfg.b_bits >= d);
+
+  const engine_sizing sizing = choose_engine(cfg, n, d);
+  if (sizing.engine == tstable_engine::patch_gather) {
+    return run_patch_gather(net, st, cfg, sizing);
+  }
+  if (sizing.engine == tstable_engine::plain) {
+    // Ordinary greedy-forward: the T-independent control arm.
+    greedy_forward_config gf;
+    gf.b_bits = cfg.b_bits;
+    gf.gather_factor = cfg.gather_factor;
+    gf.flood_factor = cfg.flood_factor;
+    gf.max_epochs = cfg.max_epochs;
+    const protocol_result base = run_greedy_forward(net, st, gf);
+    tstable_result out;
+    static_cast<protocol_result&>(out) = base;
+    out.engine_used = tstable_engine::plain;
+    out.tokens_per_epoch = sizing.items * sizing.tokens_per_item;
+    return out;
+  }
+
+  const auto by_payload = payload_index(dist);
+  const std::size_t tokens_total = sizing.items * sizing.tokens_per_item;
+  const std::size_t max_epochs =
+      cfg.max_epochs != 0 ? cfg.max_epochs : 16 + 8 * dist.k();
+
+  tstable_result res;
+  res.engine_used = sizing.engine;
+  res.tokens_per_epoch = tokens_total;
+  const round_t start = net.rounds_elapsed();
+
+  std::vector<bool> raise_fail(n, false);
+  std::vector<std::vector<std::size_t>> last_epoch_tokens(n);
+
+  gather_config gcfg;
+  gcfg.b_bits = cfg.b_bits;
+  gcfg.gather_factor = cfg.gather_factor;
+  gcfg.flood_factor = cfg.flood_factor;
+
+  // Generous per-epoch broadcast cap (Lemma 8.1 shape: (n + bT^2) log n).
+  const double t_d = static_cast<double>(cfg.t_stability);
+  const round_t bc_cap = static_cast<round_t>(
+      cfg.broadcast_cap_factor *
+      (static_cast<double>(n) + static_cast<double>(cfg.b_bits) * t_d * t_d) *
+      static_cast<double>(log2ceil(n) + 2));
+
+  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+    const gather_result g = run_random_forward(net, st, gcfg, &raise_fail);
+    std::fill(raise_fail.begin(), raise_fail.end(), false);
+
+    if (g.fail_seen) {
+      for (node_id u = 0; u < n; ++u) {
+        for (std::size_t t : last_epoch_tokens[u]) st.reinstate(u, t);
+        last_epoch_tokens[u].clear();
+      }
+      continue;
+    }
+    for (auto& v : last_epoch_tokens) v.clear();
+    if (g.leader_count == 0) {
+      res.epochs = epoch + 1;
+      break;
+    }
+
+    const node_id leader = g.leader;
+    std::vector<std::size_t> chosen;
+    {
+      const bitvec& mask = st.remaining_mask(leader);
+      for (std::size_t t = mask.first_set();
+           t < mask.size() && chosen.size() < tokens_total;
+           t = mask.first_set_from(t + 1)) {
+        chosen.push_back(t);
+      }
+    }
+    NCDN_ASSERT(!chosen.empty());
+    const std::size_t k_items = static_cast<std::size_t>(
+        ceil_div(chosen.size(), sizing.tokens_per_item));
+
+    auto seed_items = [&](auto& session) {
+      for (std::size_t i = 0; i < k_items; ++i) {
+        bitvec block(sizing.item_bits);
+        for (std::size_t j = 0; j < sizing.tokens_per_item; ++j) {
+          const std::size_t idx = i * sizing.tokens_per_item + j;
+          if (idx >= chosen.size()) break;
+          block.copy_bits_from(dist.tokens[chosen[idx]].payload, 0, d, j * d);
+        }
+        session.seed(leader, i, block);
+      }
+    };
+
+    bool decoded_everywhere = false;
+    std::vector<std::vector<std::size_t>> decoded_of(n);
+    auto harvest = [&](const auto& session) {
+      decoded_everywhere = session.all_complete();
+      for (node_id u = 0; u < n; ++u) {
+        if (!session.node_complete(u)) {
+          raise_fail[u] = true;
+          continue;
+        }
+        for (std::size_t i = 0; i < k_items; ++i) {
+          const bitvec block = session.decoder(u).decode(i);
+          for (std::size_t j = 0; j < sizing.tokens_per_item; ++j) {
+            const bitvec payload = block.slice(j * d, d);
+            if (!payload.any()) continue;
+            const auto it = by_payload.find(payload.hash());
+            NCDN_ASSERT(it != by_payload.end());
+            decoded_of[u].push_back(it->second);
+          }
+        }
+      }
+    };
+
+    // The coefficient width shrinks to the epoch's actual item count
+    // (globally derivable: everyone knows leader_count from the flood).
+    if (sizing.engine == tstable_engine::patch) {
+      patch_plan plan = plan_patch_broadcast(n, cfg.b_bits, cfg.t_stability);
+      plan.items = std::min(plan.items, k_items);
+      tstable_patch_session session(plan);
+      seed_items(session);
+      session.run(net, bc_cap, /*stop_early=*/true);
+      harvest(session);
+    } else {
+      chunked_meta_session session(n, cfg.b_bits, cfg.t_stability, k_items);
+      seed_items(session);
+      session.run(net, bc_cap, /*stop_early=*/true);
+      harvest(session);
+    }
+
+    for (node_id u = 0; u < n; ++u) {
+      for (std::size_t t : decoded_of[u]) {
+        st.learn(u, t);
+        st.retire(u, t);
+      }
+      last_epoch_tokens[u] = std::move(decoded_of[u]);
+    }
+    (void)decoded_everywhere;
+
+    if (res.completion_round == 0 && st.all_complete()) {
+      res.completion_round = net.rounds_elapsed() - start;
+    }
+    res.epochs = epoch + 1;
+  }
+
+  res.rounds = net.rounds_elapsed() - start;
+  res.complete = st.all_complete();
+  if (res.completion_round == 0 && res.complete) {
+    res.completion_round = res.rounds;
+  }
+  res.max_message_bits = net.max_observed_message_bits();
+  return res;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,57 @@
+// k-token dissemination in T-stable networks (paper §8.3, Theorem 2.4).
+//
+// The composition mirrors greedy-forward: random-forward gathers tokens to
+// an identified leader, which groups them into large meta-tokens and
+// broadcasts them — but the broadcast engine now exploits T-stability:
+//
+//   engine::patch   — the full §8 patch-sharing indexed broadcast
+//                     (T^2-speedup machinery; needs the patch plan to fit
+//                     inside a stability window),
+//   engine::chunked — coefficient-amortizing chunked meta-rounds
+//                     (the paper's first idea alone: factor T),
+//   engine::plain   — ordinary per-round RLNC blocks (greedy-forward);
+//                     the T-independent control,
+//   engine::patch_gather — §8.3's third gathering technique for large T:
+//                     instead of random-forward, each patch pipelines its
+//                     tokens up the patch tree to its leader ("use
+//                     pipelining to gather together the tokens in a patch
+//                     to blocks of size at most bT at a single node"),
+//                     producing O(n/D + kd/bT) leader blocks that are then
+//                     indexed by a UID flood and patch-broadcast.
+//
+// auto_select picks the strongest engine whose sizing is feasible for
+// (n, b, T, d) — the analogue of the min{...} over strategies in the
+// Theorem 2.4 statement.
+//
+// Fidelity note: the coded broadcast here runs in observer-stopped mode
+// (we measure the round all nodes decoded).  The distributed termination
+// and failure machinery is demonstrated by greedy/priority-forward; reusing
+// it here would only add O(n) rounds per epoch (see DESIGN.md §5).
+#pragma once
+
+#include "protocols/common.hpp"
+#include "protocols/tstable_patch.hpp"
+
+namespace ncdn {
+
+enum class tstable_engine { auto_select, patch, chunked, plain, patch_gather };
+
+struct tstable_config {
+  std::size_t b_bits = 0;
+  round_t t_stability = 1;  // must match the adversary's window length
+  tstable_engine engine = tstable_engine::auto_select;
+  double gather_factor = 1.0;
+  double flood_factor = 1.0;
+  double broadcast_cap_factor = 6.0;  // safety cap multiplier per epoch
+  std::size_t max_epochs = 0;
+};
+
+struct tstable_result : protocol_result {
+  tstable_engine engine_used = tstable_engine::plain;
+  std::size_t tokens_per_epoch = 0;  // broadcast capacity of one epoch
+};
+
+tstable_result run_tstable_dissemination(network& net, token_state& st,
+                                         const tstable_config& cfg);
+
+}  // namespace ncdn

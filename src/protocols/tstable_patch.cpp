@@ -1,0 +1,645 @@
+#include "protocols/tstable_patch.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/bits.hpp"
+
+namespace ncdn {
+
+// ---------------------------------------------------------------------------
+// Sizing
+// ---------------------------------------------------------------------------
+
+patch_plan plan_patch_broadcast(std::size_t n, std::size_t b_bits,
+                                round_t t_window) {
+  NCDN_EXPECTS(n >= 2 && b_bits >= 2 && t_window >= 1);
+  patch_plan p;
+  p.n = n;
+  p.b_bits = b_bits;
+  p.t_window = t_window;
+  p.t_vec = std::max<round_t>(1, t_window / 8);
+  const std::size_t vec_bits =
+      b_bits * static_cast<std::size_t>(p.t_vec);
+  p.items = std::max<std::size_t>(1, vec_bits / 2);
+  p.item_bits = std::max<std::size_t>(1, vec_bits - p.items);
+  p.luby_iters = std::max<std::size_t>(4, log2ceil(n));
+
+  // Largest patch radius D whose patching cost fits half a window while
+  // still leaving room for at least one share-pass-share cycle (the paper's
+  // D = Theta(T / log n) with constants made explicit).
+  const round_t budget = t_window / 2;
+  std::uint32_t d = 0;
+  for (std::uint32_t cand = 1; cand <= n; ++cand) {
+    const round_t patch_r =
+        static_cast<round_t>(p.luby_iters) * (2 * cand) + cand + 2;
+    const round_t cycle_r = 5 * p.t_vec + 4 * cand;
+    if (patch_r <= budget && patch_r + cycle_r <= t_window) {
+      d = cand;
+    } else {
+      break;
+    }
+  }
+  if (d == 0) {
+    p.d_patch = 1;
+    p.patch_rounds =
+        static_cast<round_t>(p.luby_iters) * 2 + 3;
+    p.cycle_rounds = 5 * p.t_vec + 4;
+    p.feasible = false;
+    return p;
+  }
+  p.d_patch = d;
+  p.patch_rounds = static_cast<round_t>(p.luby_iters) * (2 * d) + d + 2;
+  p.cycle_rounds = 5 * p.t_vec + 4 * d;
+  p.feasible = true;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct prio_msg {
+  std::uint64_t prio = 0;
+  node_id uid = 0;
+  std::size_t wire = 0;
+  std::size_t bit_size() const noexcept { return wire; }
+};
+
+struct ttl_msg {
+  std::uint32_t ttl = 0;
+  std::size_t wire = 0;
+  std::size_t bit_size() const noexcept { return wire; }
+};
+
+struct wave_msg {
+  node_id leader = 0;
+  std::uint32_t depth = 0;
+  std::size_t wire = 0;
+  std::size_t bit_size() const noexcept { return wire; }
+};
+
+struct assign_msg {
+  node_id uid = 0;
+  node_id leader = 0;
+  std::uint32_t depth = 0;
+  std::size_t wire = 0;
+  std::size_t bit_size() const noexcept { return wire; }
+};
+
+struct child_msg {
+  node_id uid = 0;
+  node_id parent = 0;
+  std::size_t wire = 0;
+  std::size_t bit_size() const noexcept { return wire; }
+};
+
+struct chunk_msg {
+  bitvec chunk;
+  std::uint32_t index = 0;
+  node_id uid = 0;
+  std::size_t tag_bits = 0;
+  std::size_t bit_size() const noexcept { return chunk.size() + tag_bits; }
+};
+
+constexpr node_id no_node = 0xffffffffu;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session state
+// ---------------------------------------------------------------------------
+
+struct tstable_patch_session::window_patches : built_patches {
+  // Share buffers on top of the patch structure.
+  std::vector<bitvec> acc;        // convergecast accumulator
+  std::vector<bitvec> patch_sum;  // distributed patch combination
+  std::vector<std::uint32_t> got_chunks;
+};
+
+tstable_patch_session::tstable_patch_session(const patch_plan& plan)
+    : plan_(plan),
+      decoders_(plan.n, bit_decoder(plan.items, plan.item_bits)) {
+  NCDN_EXPECTS(plan.n >= 2);
+}
+
+void tstable_patch_session::seed(node_id u, std::size_t index,
+                                 const bitvec& payload) {
+  NCDN_EXPECTS(u < decoders_.size());
+  NCDN_EXPECTS(index < plan_.items);
+  NCDN_EXPECTS(payload.size() == plan_.item_bits);
+  bitvec row(plan_.items + plan_.item_bits);
+  row.set(index);
+  row.copy_bits_from(payload, 0, plan_.item_bits, plan_.items);
+  decoders_[u].insert(std::move(row));
+}
+
+bool tstable_patch_session::all_complete() const {
+  for (const auto& d : decoders_) {
+    if (!d.complete()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Patching: distributed Luby on G^D + tree building, all real rounds.
+// ---------------------------------------------------------------------------
+
+bool tstable_patch_session::run_luby_and_trees(network& net,
+                                               window_patches& wp) {
+  return build_patches_distributed(net, plan_, wp);
+}
+
+bool build_patches_distributed(network& net, const patch_plan& plan,
+                               built_patches& wp) {
+  const std::size_t n = plan.n;
+  const std::uint32_t d = plan.d_patch;
+  const std::size_t uid_bits = bits_for(n);
+  const std::size_t prio_bits = 2 * uid_bits + 8;
+  const std::size_t depth_bits = bits_for(d + 2);
+  const patch_plan& plan_ = plan;
+  opaque_view patch_view(n);
+
+  // Luby working state (local to the construction).
+  struct luby_state {
+    std::vector<bool> active;
+    std::vector<std::uint64_t> prio;
+    std::vector<std::uint64_t> best_prio;
+    std::vector<node_id> best_uid;
+    std::vector<bool> best_valid;
+    std::vector<std::uint32_t> ttl;
+  } ls;
+  ls.active.assign(n, true);
+  ls.prio.assign(n, 0);
+  ls.ttl.assign(n, 0);
+  auto& active = ls.active;
+  auto& prio = ls.prio;
+  auto& best_prio = ls.best_prio;
+  auto& best_uid = ls.best_uid;
+  auto& best_valid = ls.best_valid;
+  auto& ttl = ls.ttl;
+
+  wp.is_leader.assign(n, false);
+
+  for (std::size_t iter = 0; iter < plan_.luby_iters; ++iter) {
+    bool any_active = false;
+    for (node_id u = 0; u < n; ++u) any_active = any_active || active[u];
+    if (!any_active) {
+      // Remaining iterations are no-ops; still burn the scheduled rounds so
+      // every node stays in lockstep without global knowledge.
+      net.silent_rounds(2 * d);
+      continue;
+    }
+    // Draw truncated priorities (the wire charges O(log n) bits, so the
+    // entropy actually used matches what is charged).
+    best_valid.assign(n, false);
+    best_prio.assign(n, 0);
+    best_uid.assign(n, 0);
+    for (node_id u = 0; u < n; ++u) {
+      if (active[u]) {
+        prio[u] = net.node_rng(u)() >> (64 - prio_bits);
+        best_valid[u] = true;
+        best_prio[u] = prio[u];
+        best_uid[u] = u;
+      }
+    }
+    // D rounds of max-priority flooding over the stable topology.
+    for (std::uint32_t r = 0; r < d; ++r) {
+      net.step<prio_msg>(
+          patch_view,
+          [&](node_id u, rng&) -> std::optional<prio_msg> {
+            if (!best_valid[u]) return std::nullopt;
+            return prio_msg{best_prio[u], best_uid[u],
+                            prio_bits + uid_bits};
+          },
+          [&](node_id u, const std::vector<const prio_msg*>& inbox) {
+            for (const prio_msg* m : inbox) {
+              if (!best_valid[u] || m->prio > best_prio[u] ||
+                  (m->prio == best_prio[u] && m->uid > best_uid[u])) {
+                best_valid[u] = true;
+                best_prio[u] = m->prio;
+                best_uid[u] = m->uid;
+              }
+            }
+          });
+    }
+    // Local maxima over the D-ball join the MIS.
+    for (node_id u = 0; u < n; ++u) {
+      if (active[u] && best_uid[u] == u &&
+          best_prio[u] == prio[u]) {
+        wp.is_leader[u] = true;
+        active[u] = false;
+        ttl[u] = d;
+      }
+    }
+    // D rounds of deactivation TTL flood: every node within D hops of a
+    // new leader leaves the active set.
+    for (std::uint32_t r = 0; r < d; ++r) {
+      net.step<ttl_msg>(
+          patch_view,
+          [&](node_id u, rng&) -> std::optional<ttl_msg> {
+            if (ttl[u] == 0) return std::nullopt;
+            return ttl_msg{ttl[u], depth_bits};
+          },
+          [&](node_id u, const std::vector<const ttl_msg*>& inbox) {
+            for (const ttl_msg* m : inbox) {
+              if (m->ttl >= 1) {
+                active[u] = false;
+                ttl[u] = std::max(ttl[u], m->ttl - 1);
+              }
+            }
+          });
+      // TTLs decay: what was relayed this round is spent.
+      for (node_id u = 0; u < n; ++u) {
+        if (wp.is_leader[u] && ttl[u] == d) {
+          ttl[u] = 0;  // leader transmitted its initial TTL once
+        }
+      }
+    }
+    for (auto& t : ttl) t = 0;
+  }
+
+  for (node_id u = 0; u < n; ++u) {
+    if (active[u]) return false;  // Luby did not converge (whp event)
+  }
+
+  // --- tree building: incrementing (depth, leader) wave for D rounds ---
+  wp.assigned.assign(n, false);
+  wp.leader_of.assign(n, no_node);
+  wp.depth.assign(n, 0);
+  for (node_id u = 0; u < n; ++u) {
+    if (wp.is_leader[u]) {
+      wp.assigned[u] = true;
+      wp.leader_of[u] = u;
+      wp.depth[u] = 0;
+    }
+  }
+  for (std::uint32_t r = 0; r < d; ++r) {
+    net.step<wave_msg>(
+        patch_view,
+        [&](node_id u, rng&) -> std::optional<wave_msg> {
+          if (!wp.assigned[u]) return std::nullopt;
+          return wave_msg{wp.leader_of[u], wp.depth[u],
+                          uid_bits + depth_bits};
+        },
+        [&](node_id u, const std::vector<const wave_msg*>& inbox) {
+          for (const wave_msg* m : inbox) {
+            const std::uint32_t cand_depth = m->depth + 1;
+            if (!wp.assigned[u] || cand_depth < wp.depth[u] ||
+                (cand_depth == wp.depth[u] && m->leader < wp.leader_of[u])) {
+              wp.assigned[u] = true;
+              wp.depth[u] = cand_depth;
+              wp.leader_of[u] = m->leader;
+            }
+          }
+        });
+  }
+  for (node_id u = 0; u < n; ++u) {
+    if (!wp.assigned[u]) return false;  // MIS coverage failed
+  }
+
+  // One round: everyone announces (uid, leader, depth); parent = lowest-uid
+  // neighbour in the same patch one step closer to the leader.
+  wp.parent.assign(n, no_node);
+  net.step<assign_msg>(
+      patch_view,
+      [&](node_id u, rng&) -> std::optional<assign_msg> {
+        return assign_msg{u, wp.leader_of[u], wp.depth[u],
+                          2 * uid_bits + depth_bits};
+      },
+      [&](node_id u, const std::vector<const assign_msg*>& inbox) {
+        if (wp.depth[u] == 0) {
+          wp.parent[u] = u;
+          return;
+        }
+        for (const assign_msg* m : inbox) {
+          if (m->leader == wp.leader_of[u] && m->depth + 1 == wp.depth[u]) {
+            if (wp.parent[u] == no_node || m->uid < wp.parent[u]) {
+              wp.parent[u] = m->uid;
+            }
+          }
+        }
+      });
+  for (node_id u = 0; u < n; ++u) {
+    if (wp.parent[u] == no_node) return false;  // should not happen
+  }
+
+  // One round: children notification.
+  wp.children.assign(n, {});
+  net.step<child_msg>(
+      patch_view,
+      [&](node_id u, rng&) -> std::optional<child_msg> {
+        return child_msg{u, wp.parent[u], 2 * uid_bits};
+      },
+      [&](node_id u, const std::vector<const child_msg*>& inbox) {
+        for (const child_msg* m : inbox) {
+          if (m->parent == u && m->uid != u) wp.children[u].push_back(m->uid);
+        }
+      });
+  for (auto& kids : wp.children) std::sort(kids.begin(), kids.end());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// share: pipelined convergecast of per-node random combinations up the
+// patch tree (systolic chunk schedule), then pipelined downcast of the
+// patch sum (§8.2.1).
+// ---------------------------------------------------------------------------
+
+void tstable_patch_session::share(network& net, window_patches& wp) {
+  const std::size_t n = decoders_.size();
+  const std::uint32_t d = plan_.d_patch;
+  const round_t t_vec = plan_.t_vec;
+  const std::size_t row_bits = plan_.items + plan_.item_bits;
+  const std::size_t tag_bits =
+      bits_for(static_cast<std::uint64_t>(t_vec) + 1) + bits_for(n) + 2;
+
+  auto chunk_of = [&](const bitvec& row, std::uint32_t c) {
+    // The vector may be shorter than t_vec * b bits when the item count was
+    // capped below the plan's default; trailing chunks are empty.
+    const std::size_t begin =
+        std::min(static_cast<std::size_t>(c) * plan_.b_bits, row_bits);
+    const std::size_t len = std::min(plan_.b_bits, row_bits - begin);
+    return row.slice(begin, len);
+  };
+
+  // Local random combinations (zero vector when nothing received yet).
+  wp.acc.assign(n, bitvec(row_bits));
+  for (node_id u = 0; u < n; ++u) {
+    auto combo = decoders_[u].random_combination(net.node_rng(u));
+    if (combo) wp.acc[u] = std::move(*combo);
+  }
+
+  // Convergecast: node at depth j transmits chunk c at round (D - j) + c;
+  // its children's chunk-c sums arrive exactly one round earlier.
+  for (round_t r = 0; r < static_cast<round_t>(d) + t_vec; ++r) {
+    net.step<chunk_msg>(
+        *this,
+        [&](node_id u, rng&) -> std::optional<chunk_msg> {
+          if (wp.depth[u] == 0) return std::nullopt;  // leader only receives
+          const std::int64_t c = static_cast<std::int64_t>(r) -
+                                 (static_cast<std::int64_t>(d) - wp.depth[u]);
+          if (c < 0 || c >= static_cast<std::int64_t>(t_vec)) {
+            return std::nullopt;
+          }
+          return chunk_msg{chunk_of(wp.acc[u], static_cast<std::uint32_t>(c)),
+                           static_cast<std::uint32_t>(c), u, tag_bits};
+        },
+        [&](node_id u, const std::vector<const chunk_msg*>& inbox) {
+          for (const chunk_msg* m : inbox) {
+            if (m->chunk.empty()) continue;
+            const auto& kids = wp.children[u];
+            if (!std::binary_search(kids.begin(), kids.end(), m->uid)) {
+              continue;
+            }
+            const std::size_t begin =
+                static_cast<std::size_t>(m->index) * plan_.b_bits;
+            for (std::size_t i = 0; i < m->chunk.size(); ++i) {
+              if (m->chunk.get(i)) wp.acc[u].flip(begin + i);
+            }
+          }
+        });
+  }
+
+  // Downcast: leader (depth 0) sends chunk c at round c; depth j relays at
+  // round j + c.  Everyone assembles the patch sum.
+  wp.patch_sum.assign(n, bitvec(row_bits));
+  wp.got_chunks.assign(n, 0);
+  for (node_id u = 0; u < n; ++u) {
+    if (wp.depth[u] == 0) {
+      wp.patch_sum[u] = wp.acc[u];
+      wp.got_chunks[u] = static_cast<std::uint32_t>(t_vec);
+    }
+  }
+  for (round_t r = 0; r < static_cast<round_t>(d) + t_vec; ++r) {
+    net.step<chunk_msg>(
+        *this,
+        [&](node_id u, rng&) -> std::optional<chunk_msg> {
+          const std::int64_t c =
+              static_cast<std::int64_t>(r) - wp.depth[u];
+          if (c < 0 || c >= static_cast<std::int64_t>(t_vec)) {
+            return std::nullopt;
+          }
+          if (static_cast<std::uint32_t>(c) >= wp.got_chunks[u]) {
+            return std::nullopt;  // chunk not yet received (cannot happen
+                                  // on schedule, but stay safe)
+          }
+          return chunk_msg{
+              chunk_of(wp.patch_sum[u], static_cast<std::uint32_t>(c)),
+              static_cast<std::uint32_t>(c), u, tag_bits};
+        },
+        [&](node_id u, const std::vector<const chunk_msg*>& inbox) {
+          for (const chunk_msg* m : inbox) {
+            if (m->uid != wp.parent[u] || wp.depth[u] == 0) continue;
+            if (m->index != wp.got_chunks[u]) continue;  // in-order schedule
+            if (!m->chunk.empty()) {
+              wp.patch_sum[u].copy_bits_from(
+                  m->chunk, 0, m->chunk.size(),
+                  static_cast<std::size_t>(m->index) * plan_.b_bits);
+            }
+            ++wp.got_chunks[u];
+          }
+        });
+  }
+  for (node_id u = 0; u < n; ++u) {
+    NCDN_ASSERT(wp.got_chunks[u] == static_cast<std::uint32_t>(t_vec));
+    decoders_[u].insert(wp.patch_sum[u]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pass: every node ships its patch sum to all graph neighbours, chunk by
+// chunk over t_vec rounds (the topology is stable inside the window).
+// ---------------------------------------------------------------------------
+
+void tstable_patch_session::pass(network& net, window_patches& wp) {
+  const std::size_t n = decoders_.size();
+  const round_t t_vec = plan_.t_vec;
+  const std::size_t row_bits = plan_.items + plan_.item_bits;
+  const std::size_t tag_bits =
+      bits_for(static_cast<std::uint64_t>(t_vec) + 1) + bits_for(n) + 2;
+
+  std::vector<std::unordered_map<node_id, bitvec>> inbox_vec(n);
+  for (round_t r = 0; r < t_vec; ++r) {
+    net.step<chunk_msg>(
+        *this,
+        [&](node_id u, rng&) -> std::optional<chunk_msg> {
+          const std::size_t begin = std::min(
+              static_cast<std::size_t>(r) * plan_.b_bits, row_bits);
+          const std::size_t len = std::min(plan_.b_bits, row_bits - begin);
+          return chunk_msg{wp.patch_sum[u].slice(begin, len),
+                           static_cast<std::uint32_t>(r), u, tag_bits};
+        },
+        [&](node_id u, const std::vector<const chunk_msg*>& inbox) {
+          for (const chunk_msg* m : inbox) {
+            auto [it, inserted] =
+                inbox_vec[u].try_emplace(m->uid, bitvec(row_bits));
+            if (!m->chunk.empty()) {
+              it->second.copy_bits_from(
+                  m->chunk, 0, m->chunk.size(),
+                  static_cast<std::size_t>(m->index) * plan_.b_bits);
+            }
+          }
+        });
+  }
+  for (node_id u = 0; u < n; ++u) {
+    for (auto& [from, row] : inbox_vec[u]) decoders_[u].insert(row);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run: whole stability windows of [patching][cycles...].
+// ---------------------------------------------------------------------------
+
+round_t tstable_patch_session::run(network& net, round_t max_rounds,
+                                   bool stop_early) {
+  NCDN_EXPECTS(plan_.feasible);
+  const round_t start = net.rounds_elapsed();
+  const round_t t = plan_.t_window;
+
+  while (net.rounds_elapsed() - start < max_rounds) {
+    if (stop_early && all_complete()) break;
+    // Align to the adversary's next window boundary.
+    const round_t mis_align = net.rounds_elapsed() % t;
+    if (mis_align != 0) net.silent_rounds(t - mis_align);
+    const round_t window_end = net.rounds_elapsed() + t;
+    ++windows_;
+
+    window_patches wp;
+    if (!run_luby_and_trees(net, wp)) {
+      ++patch_failures_;
+      net.silent_rounds(window_end - net.rounds_elapsed());
+      continue;
+    }
+    while (window_end - net.rounds_elapsed() >= plan_.cycle_rounds &&
+           !(stop_early && all_complete())) {
+      share(net, wp);
+      pass(net, wp);
+      share(net, wp);
+    }
+    if (net.rounds_elapsed() < window_end) {
+      net.silent_rounds(window_end - net.rounds_elapsed());
+    }
+  }
+  return net.rounds_elapsed() - start;
+}
+
+// ---------------------------------------------------------------------------
+// chunked_meta_session: idea (1) alone — T-times-larger vectors between
+// stable neighbours, no patching.
+// ---------------------------------------------------------------------------
+
+chunked_meta_session::chunked_meta_session(std::size_t n, std::size_t b_bits,
+                                           round_t t_window,
+                                           std::size_t items_cap)
+    : b_bits_(b_bits), t_window_(t_window) {
+  NCDN_EXPECTS(n >= 2 && b_bits >= 2 && t_window >= 1);
+  t_vec_ = std::max<round_t>(1, t_window / 2);
+  const std::size_t vec_bits = b_bits * static_cast<std::size_t>(t_vec_);
+  items_ = std::max<std::size_t>(1, vec_bits / 2);
+  item_bits_ = std::max<std::size_t>(1, vec_bits - items_);
+  if (items_cap != 0) items_ = std::min(items_, items_cap);
+  decoders_.assign(n, bit_decoder(items_, item_bits_));
+}
+
+void chunked_meta_session::seed(node_id u, std::size_t index,
+                                const bitvec& payload) {
+  NCDN_EXPECTS(u < decoders_.size());
+  NCDN_EXPECTS(index < items_);
+  NCDN_EXPECTS(payload.size() == item_bits_);
+  bitvec row(items_ + item_bits_);
+  row.set(index);
+  row.copy_bits_from(payload, 0, item_bits_, items_);
+  decoders_[u].insert(std::move(row));
+}
+
+bool chunked_meta_session::all_complete() const {
+  for (const auto& d : decoders_) {
+    if (!d.complete()) return false;
+  }
+  return true;
+}
+
+round_t chunked_meta_session::run(network& net, round_t max_rounds,
+                                  bool stop_early) {
+  const std::size_t n = decoders_.size();
+  const std::size_t row_bits = items_ + item_bits_;
+  const std::size_t tag_bits =
+      bits_for(static_cast<std::uint64_t>(t_vec_) + 1) + bits_for(n) + 2;
+  const round_t start = net.rounds_elapsed();
+
+  while (net.rounds_elapsed() - start < max_rounds) {
+    if (stop_early && all_complete()) break;
+    // Align so one whole vector transmission sits inside a stability
+    // window (same-neighbour chunk reassembly needs a fixed topology).
+    const round_t pos = net.rounds_elapsed() % t_window_;
+    const round_t left = t_window_ - pos;
+    if (left < t_vec_) {
+      net.silent_rounds(left);
+      continue;
+    }
+
+    std::vector<bitvec> outgoing(n, bitvec(row_bits));
+    std::vector<bool> speaking(n, false);
+    for (node_id u = 0; u < n; ++u) {
+      auto combo = decoders_[u].random_combination(net.node_rng(u));
+      if (combo) {
+        outgoing[u] = std::move(*combo);
+        speaking[u] = true;
+      }
+    }
+    // Reassembly tracks which chunk indices arrived per sender; only
+    // complete vectors are decodable.  Under full T-stability every
+    // neighbour's vector completes; under the weaker T-interval
+    // connectivity only the stable-tree neighbours are guaranteed to, and
+    // partially-heard vectors from churning edges are discarded.
+    struct partial {
+      bitvec row;
+      bitvec seen;
+      std::uint32_t count = 0;
+    };
+    std::vector<std::unordered_map<node_id, partial>> reassembly(n);
+    for (round_t c = 0; c < t_vec_; ++c) {
+      net.step<chunk_msg>(
+          *this,
+          [&](node_id u, rng&) -> std::optional<chunk_msg> {
+            if (!speaking[u]) return std::nullopt;
+            const std::size_t begin = std::min(
+                static_cast<std::size_t>(c) * b_bits_, row_bits);
+            const std::size_t len = std::min(b_bits_, row_bits - begin);
+            return chunk_msg{outgoing[u].slice(begin, len),
+                             static_cast<std::uint32_t>(c), u, tag_bits};
+          },
+          [&](node_id u, const std::vector<const chunk_msg*>& inbox) {
+            for (const chunk_msg* m : inbox) {
+              auto [it, inserted] = reassembly[u].try_emplace(
+                  m->uid,
+                  partial{bitvec(row_bits),
+                          bitvec(static_cast<std::size_t>(t_vec_)), 0});
+              partial& p = it->second;
+              if (!p.seen.get(m->index)) {
+                p.seen.set(m->index);
+                ++p.count;
+                if (!m->chunk.empty()) {
+                  p.row.copy_bits_from(
+                      m->chunk, 0, m->chunk.size(),
+                      static_cast<std::size_t>(m->index) * b_bits_);
+                }
+              }
+            }
+          });
+    }
+    for (node_id u = 0; u < n; ++u) {
+      for (auto& [from, p] : reassembly[u]) {
+        if (p.count == static_cast<std::uint32_t>(t_vec_)) {
+          decoders_[u].insert(p.row);
+        }
+      }
+    }
+  }
+  return net.rounds_elapsed() - start;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,116 @@
+// Token-forwarding baseline tests (system S7 / Theorem 2.1 upper bound).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/flooding.hpp"
+
+namespace ncdn {
+namespace {
+
+struct flood_case {
+  std::size_t n, k, d, b;
+  const char* adversary;
+  bool pipelined;
+};
+
+class flooding_suite : public ::testing::TestWithParam<flood_case> {};
+
+std::unique_ptr<adversary> build_adversary(const char* name, std::size_t n,
+                                           std::uint64_t seed) {
+  if (std::string(name) == "static-path") return make_static_path(n);
+  if (std::string(name) == "static-star") return make_static_star(n);
+  if (std::string(name) == "permuted-path") return make_permuted_path(n, seed);
+  if (std::string(name) == "sorted-path") return make_sorted_path();
+  return make_random_connected(n, n / 2, seed);
+}
+
+TEST_P(flooding_suite, disseminates_everything) {
+  const flood_case c = GetParam();
+  rng r(1000 + c.n + c.k);
+  const auto dist = make_distribution(
+      c.n, c.k, c.d, c.k == c.n ? placement::one_per_node : placement::random_spread,
+      r);
+  auto adv = build_adversary(c.adversary, c.n, 17);
+  network net(c.n, c.b, *adv, 23);
+  token_state st(dist);
+  flooding_config cfg;
+  cfg.b_bits = c.b;
+  cfg.pipelined = c.pipelined;
+  const protocol_result res = run_flooding(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+  EXPECT_GT(res.completion_round, 0u);
+  EXPECT_LE(res.completion_round, res.rounds);
+  const std::size_t batch = std::max<std::size_t>(1, c.b / c.d);
+  if (!c.pipelined) {
+    // Theorem 2.1 schedule: ceil(k/(b/d)) phases of n rounds.
+    EXPECT_EQ(res.rounds, ((c.k + batch - 1) / batch) * c.n);
+  }
+  // Wire: at most batch tokens of d bits per message.
+  EXPECT_LE(res.max_message_bits, batch * c.d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sweeps, flooding_suite,
+    ::testing::Values(
+        flood_case{16, 16, 8, 8, "static-path", false},
+        flood_case{16, 16, 8, 8, "permuted-path", false},
+        flood_case{16, 16, 8, 8, "sorted-path", false},
+        flood_case{24, 24, 8, 32, "permuted-path", false},
+        flood_case{24, 12, 8, 16, "random-connected", false},
+        flood_case{32, 32, 16, 64, "permuted-path", false},
+        flood_case{16, 16, 8, 8, "static-star", false},
+        flood_case{16, 16, 8, 8, "static-path", true},
+        flood_case{24, 24, 8, 16, "permuted-path", true},
+        flood_case{32, 16, 8, 8, "sorted-path", true}));
+
+TEST(flooding, single_token_floods_in_one_phase) {
+  rng r(5);
+  const auto dist = make_distribution(12, 1, 8, placement::random_spread, r);
+  auto adv = make_static_path(12);
+  network net(12, 16, *adv, 5);
+  token_state st(dist);
+  flooding_config cfg;
+  cfg.b_bits = 16;
+  const protocol_result res = run_flooding(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.rounds, 12u);
+  EXPECT_EQ(res.epochs, 1u);
+}
+
+TEST(flooding, larger_messages_cut_rounds_linearly) {
+  // Theorem 2.1: rounds scale ~ 1/b (the linear regime coding beats).
+  rng r(6);
+  round_t prev = 0;
+  for (std::size_t b : {8u, 16u, 32u, 64u}) {
+    rng rr(7);
+    const auto dist = make_distribution(16, 16, 8, placement::one_per_node, rr);
+    auto adv = make_permuted_path(16, 9);
+    network net(16, b, *adv, 9);
+    token_state st(dist);
+    flooding_config cfg;
+    cfg.b_bits = b;
+    const protocol_result res = run_flooding(net, st, cfg);
+    EXPECT_TRUE(res.complete);
+    if (prev != 0) EXPECT_EQ(res.rounds * 2, prev);
+    prev = res.rounds;
+  }
+}
+
+TEST(flooding, completion_tracks_observer_not_schedule) {
+  // On a star the tokens spread much faster than the worst-case schedule;
+  // completion_round must reflect that while rounds follows the schedule.
+  rng r(8);
+  const auto dist = make_distribution(20, 20, 8, placement::one_per_node, r);
+  auto adv = make_static_star(20);
+  network net(20, 8, *adv, 10);
+  token_state st(dist);
+  flooding_config cfg;
+  cfg.b_bits = 8;
+  const protocol_result res = run_flooding(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+  EXPECT_LT(res.completion_round, res.rounds);
+}
+
+}  // namespace
+}  // namespace ncdn

@@ -1,0 +1,143 @@
+// Field-axiom and table-correctness tests for the gf module (system S1).
+#include <gtest/gtest.h>
+
+#include "gf/field.hpp"
+#include "gf/gf2k.hpp"
+#include "gf/gfp.hpp"
+
+namespace ncdn {
+namespace {
+
+template <class F>
+class field_axioms : public ::testing::Test {};
+
+using all_fields = ::testing::Types<gf2, gf16, gf256, gf65536, mersenne61>;
+TYPED_TEST_SUITE(field_axioms, all_fields);
+
+template <class F>
+typename F::value_type sample(rng& r) {
+  return F::uniform(r);
+}
+
+TYPED_TEST(field_axioms, additive_group) {
+  using F = TypeParam;
+  rng r(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = sample<F>(r);
+    const auto b = sample<F>(r);
+    const auto c = sample<F>(r);
+    EXPECT_EQ(F::add(a, b), F::add(b, a));
+    EXPECT_EQ(F::add(F::add(a, b), c), F::add(a, F::add(b, c)));
+    EXPECT_EQ(F::add(a, F::zero()), a);
+    EXPECT_EQ(F::sub(F::add(a, b), b), a);
+  }
+}
+
+TYPED_TEST(field_axioms, multiplicative_group) {
+  using F = TypeParam;
+  rng r(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = sample<F>(r);
+    const auto b = sample<F>(r);
+    const auto c = sample<F>(r);
+    EXPECT_EQ(F::mul(a, b), F::mul(b, a));
+    EXPECT_EQ(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
+    EXPECT_EQ(F::mul(a, F::one()), a);
+    EXPECT_EQ(F::mul(a, F::zero()), F::zero());
+  }
+}
+
+TYPED_TEST(field_axioms, distributivity) {
+  using F = TypeParam;
+  rng r(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = sample<F>(r);
+    const auto b = sample<F>(r);
+    const auto c = sample<F>(r);
+    EXPECT_EQ(F::mul(a, F::add(b, c)), F::add(F::mul(a, b), F::mul(a, c)));
+  }
+}
+
+TYPED_TEST(field_axioms, inverses) {
+  using F = TypeParam;
+  rng r(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = F::uniform_nonzero(r);
+    EXPECT_EQ(F::mul(a, F::inv(a)), F::one());
+    EXPECT_EQ(F::add(a, F::neg(a)), F::zero());
+  }
+}
+
+TYPED_TEST(field_axioms, uniform_nonzero_is_nonzero) {
+  using F = TypeParam;
+  rng r(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(F::uniform_nonzero(r), F::zero());
+  }
+}
+
+TEST(gf2k_tables, exhaustive_gf16_inverses) {
+  for (std::uint32_t a = 1; a < 16; ++a) {
+    const auto inv = gf16::inv(static_cast<gf16::value_type>(a));
+    EXPECT_EQ(gf16::mul(static_cast<gf16::value_type>(a), inv), gf16::one());
+  }
+}
+
+TEST(gf2k_tables, exhaustive_gf256_inverses) {
+  for (std::uint32_t a = 1; a < 256; ++a) {
+    const auto inv = gf256::inv(static_cast<gf256::value_type>(a));
+    EXPECT_EQ(gf256::mul(static_cast<gf256::value_type>(a), inv),
+              gf256::one());
+  }
+}
+
+TEST(gf2k_tables, gf65536_log_exp_roundtrip) {
+  rng r(6);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = gf65536::uniform_nonzero(r);
+    const auto b = gf65536::uniform_nonzero(r);
+    // a*b / b == a
+    EXPECT_EQ(gf65536::div(gf65536::mul(a, b), b), a);
+  }
+}
+
+TEST(gf2k_tables, multiplication_matches_carryless_reference_gf16) {
+  // Reference multiply via shift-xor against the table path, exhaustively.
+  auto ref_mul = [](std::uint32_t a, std::uint32_t b) {
+    std::uint32_t acc = 0;
+    while (b) {
+      if (b & 1u) acc ^= a;
+      a <<= 1;
+      if (a & 0x10u) a ^= 0x13u;  // x^4 + x + 1
+      b >>= 1;
+    }
+    return acc;
+  };
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(gf16::mul(static_cast<gf16::value_type>(a),
+                          static_cast<gf16::value_type>(b)),
+                ref_mul(a, b))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(mersenne61, reduction_edge_cases) {
+  constexpr std::uint64_t p = mersenne61::p;
+  EXPECT_EQ(mersenne61::add(p - 1, 1), 0u);
+  EXPECT_EQ(mersenne61::sub(0, 1), p - 1);
+  EXPECT_EQ(mersenne61::mul(p - 1, p - 1), 1u);  // (-1)^2
+  EXPECT_EQ(mersenne61::pow(3, p - 1), 1u);      // Fermat little theorem
+}
+
+TEST(coefficient_bits_fn, matches_field_orders) {
+  EXPECT_EQ(coefficient_bits<gf2>(), 1u);
+  EXPECT_EQ(coefficient_bits<gf16>(), 4u);
+  EXPECT_EQ(coefficient_bits<gf256>(), 8u);
+  EXPECT_EQ(coefficient_bits<gf65536>(), 16u);
+  EXPECT_EQ(coefficient_bits<mersenne61>(), 61u);
+}
+
+}  // namespace
+}  // namespace ncdn

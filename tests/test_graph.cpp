@@ -1,0 +1,120 @@
+// Graph library and topology generator tests (systems S3/S4).
+#include <gtest/gtest.h>
+
+#include "dynnet/generators.hpp"
+#include "dynnet/graph.hpp"
+
+namespace ncdn {
+namespace {
+
+TEST(graph, basic_edges) {
+  graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(graph, connectivity) {
+  graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(graph, bfs_and_diameter_on_path) {
+  const graph g = gen::path(10);
+  const auto dist = g.bfs_distances(0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(dist[i], i);
+  EXPECT_EQ(g.diameter(), 9u);
+}
+
+TEST(graph, multi_source_bfs) {
+  const graph g = gen::path(10);
+  const auto dist = g.bfs_distances(std::vector<node_id>{0, 9});
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[9], 0u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], 4u);
+}
+
+TEST(graph, power_of_path) {
+  const graph g = gen::path(8);
+  const graph g2 = g.power(2);
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  EXPECT_EQ(g2.diameter(), 4u);  // ceil(7/2)
+}
+
+TEST(generators, shapes_and_sizes) {
+  EXPECT_EQ(gen::path(7).edge_count(), 6u);
+  EXPECT_EQ(gen::ring(7).edge_count(), 7u);
+  EXPECT_EQ(gen::star(7).edge_count(), 6u);
+  EXPECT_EQ(gen::clique(7).edge_count(), 21u);
+  EXPECT_EQ(gen::grid(3, 4).order(), 12u);
+  EXPECT_EQ(gen::grid(3, 4).edge_count(), 17u);  // 2*4 + 3*3
+  EXPECT_EQ(gen::binary_tree(15).edge_count(), 14u);
+  EXPECT_EQ(gen::dumbbell(10).order(), 10u);
+}
+
+TEST(generators, star_diameter) { EXPECT_EQ(gen::star(20).diameter(), 2u); }
+
+TEST(generators, all_connected_across_seeds) {
+  rng r(42);
+  for (int seed = 0; seed < 20; ++seed) {
+    EXPECT_TRUE(gen::random_tree(33, r).is_connected());
+    EXPECT_TRUE(gen::random_connected(33, 20, r).is_connected());
+    EXPECT_TRUE(gen::permuted_path(33, r).is_connected());
+    EXPECT_TRUE(gen::random_geometric(33, 0.15, r).is_connected());
+  }
+}
+
+TEST(generators, random_tree_is_tree) {
+  rng r(43);
+  for (int t = 0; t < 10; ++t) {
+    const graph g = gen::random_tree(40, r);
+    EXPECT_EQ(g.edge_count(), 39u);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(generators, permuted_path_is_path) {
+  rng r(44);
+  const graph g = gen::permuted_path(25, r);
+  std::size_t deg1 = 0, deg2 = 0;
+  for (node_id u = 0; u < 25; ++u) {
+    if (g.degree(u) == 1) ++deg1;
+    if (g.degree(u) == 2) ++deg2;
+  }
+  EXPECT_EQ(deg1, 2u);
+  EXPECT_EQ(deg2, 23u);
+}
+
+TEST(generators, dumbbell_has_bridge) {
+  const graph g = gen::dumbbell(12);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(5, 6));
+  // Each clique is complete.
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_TRUE(g.has_edge(6, 11));
+  EXPECT_FALSE(g.has_edge(0, 11));
+}
+
+TEST(graph_normalize, dedupes_parallel_edges) {
+  graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.normalize();
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+}  // namespace
+}  // namespace ncdn

@@ -1,0 +1,359 @@
+// Tests for bitvec, batch GF(2) elimination, dense matrices, and the
+// incremental decoders (system S2) — including cross-checks between the
+// packed GF(2) path and the generic-field reference.
+#include <gtest/gtest.h>
+
+#include "gf/gf2k.hpp"
+#include "gf/gfp.hpp"
+#include "linalg/bitmatrix.hpp"
+#include "linalg/bitvec.hpp"
+#include "linalg/decoder.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ncdn {
+namespace {
+
+TEST(bitvec, set_get_flip) {
+  bitvec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.any());
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(bitvec, first_set_scans_across_words) {
+  bitvec v(200);
+  EXPECT_EQ(v.first_set(), 200u);
+  v.set(150);
+  EXPECT_EQ(v.first_set(), 150u);
+  v.set(70);
+  EXPECT_EQ(v.first_set(), 70u);
+  EXPECT_EQ(v.first_set_from(71), 150u);
+  EXPECT_EQ(v.first_set_from(150), 150u);
+  EXPECT_EQ(v.first_set_from(151), 200u);
+}
+
+TEST(bitvec, xor_is_involution) {
+  rng r(7);
+  bitvec a(300), b(300);
+  a.randomize(r);
+  b.randomize(r);
+  bitvec c = a;
+  c.xor_with(b);
+  c.xor_with(b);
+  EXPECT_EQ(c, a);
+}
+
+TEST(bitvec, randomize_masks_tail) {
+  rng r(8);
+  for (std::size_t bits : {1u, 63u, 64u, 65u, 127u, 129u}) {
+    bitvec v(bits);
+    v.randomize(r);
+    // No bits beyond size: total popcount of words equals popcount of bits.
+    std::size_t bit_pop = 0;
+    for (std::size_t i = 0; i < bits; ++i) bit_pop += v.get(i) ? 1 : 0;
+    EXPECT_EQ(v.popcount(), bit_pop);
+  }
+}
+
+TEST(bitvec, dot_product) {
+  bitvec a(10), b(10);
+  a.set(1);
+  a.set(3);
+  b.set(3);
+  b.set(4);
+  EXPECT_TRUE(a.dot(b));  // overlap {3}: parity 1
+  b.set(1);
+  EXPECT_FALSE(a.dot(b));  // overlap {1,3}: parity 0
+}
+
+TEST(bitvec, slice_and_copy_roundtrip) {
+  rng r(9);
+  bitvec v(128);
+  v.randomize(r);
+  const bitvec mid = v.slice(30, 70);
+  bitvec w(128);
+  w.copy_bits_from(mid, 0, 70, 30);
+  for (std::size_t i = 30; i < 100; ++i) EXPECT_EQ(w.get(i), v.get(i));
+}
+
+TEST(gf2_batch, rank_of_identity) {
+  std::vector<bitvec> rows;
+  for (int i = 0; i < 5; ++i) {
+    bitvec v(5);
+    v.set(static_cast<std::size_t>(i));
+    rows.push_back(v);
+  }
+  EXPECT_EQ(gf2_rank(rows), 5u);
+}
+
+TEST(gf2_batch, dependent_rows) {
+  bitvec a(4), b(4), c(4);
+  a.set(0);
+  a.set(1);
+  b.set(1);
+  b.set(2);
+  c = a;
+  c.xor_with(b);  // c = a + b
+  EXPECT_EQ(gf2_rank({a, b, c}), 2u);
+  EXPECT_TRUE(gf2_in_span({a, b}, c));
+  bitvec d(4);
+  d.set(3);
+  EXPECT_FALSE(gf2_in_span({a, b}, d));
+}
+
+TEST(gf2_batch, rref_is_canonical) {
+  rng r(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bitvec> rows;
+    for (int i = 0; i < 8; ++i) {
+      bitvec v(12);
+      v.randomize(r);
+      rows.push_back(v);
+    }
+    std::vector<bitvec> a = rows;
+    std::vector<bitvec> b = rows;
+    r.shuffle(b);  // row order must not matter for RREF
+    gf2_rref(a);
+    gf2_rref(b);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(dense_matrix, rref_rank_gf256) {
+  matrix<gf256> m(3, 4);
+  // Row2 = Row0 + Row1 -> rank 2.
+  rng r(11);
+  for (std::size_t c = 0; c < 4; ++c) {
+    m.at(0, c) = gf256::uniform(r);
+    m.at(1, c) = gf256::uniform(r);
+    m.at(2, c) = gf256::add(m.at(0, c), m.at(1, c));
+  }
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(dense_matrix, identity_rref_stays_identity) {
+  matrix<mersenne61> m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) m.at(i, i) = 1;
+  EXPECT_EQ(m.rref(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.at(i, j), i == j ? 1u : 0u);
+    }
+  }
+}
+
+// --- incremental bit decoder ---
+
+TEST(bit_decoder, seeds_then_decodes_identity) {
+  const std::size_t k = 6, d = 16;
+  bit_decoder dec(k, d);
+  rng r(12);
+  std::vector<bitvec> payloads;
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(d);
+    p.randomize(r);
+    payloads.push_back(p);
+    bitvec row(k + d);
+    row.set(i);
+    row.copy_bits_from(p, 0, d, k);
+    EXPECT_TRUE(dec.insert(row));
+  }
+  EXPECT_TRUE(dec.complete());
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(dec.decode(i), payloads[i]);
+}
+
+TEST(bit_decoder, detects_non_innovative) {
+  const std::size_t k = 4, d = 8;
+  bit_decoder dec(k, d);
+  rng r(13);
+  std::vector<bitvec> rows;
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(d);
+    p.randomize(r);
+    bitvec row(k + d);
+    row.set(i);
+    row.copy_bits_from(p, 0, d, k);
+    rows.push_back(row);
+  }
+  EXPECT_TRUE(dec.insert(rows[0]));
+  EXPECT_TRUE(dec.insert(rows[1]));
+  bitvec combo = rows[0];
+  combo.xor_with(rows[1]);
+  EXPECT_FALSE(dec.insert(combo));  // in the span already
+  EXPECT_EQ(dec.rank(), 2u);
+  EXPECT_TRUE(dec.insert(rows[2]));
+  EXPECT_TRUE(dec.insert(rows[3]));
+  EXPECT_TRUE(dec.complete());
+}
+
+TEST(bit_decoder, decodes_from_random_combinations) {
+  // Property: feeding random combinations of seeded rows through a second
+  // decoder reconstructs the originals once rank is full.
+  const std::size_t k = 16, d = 32;
+  rng r(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    bit_decoder source(k, d);
+    std::vector<bitvec> payloads;
+    for (std::size_t i = 0; i < k; ++i) {
+      bitvec p(d);
+      p.randomize(r);
+      payloads.push_back(p);
+      bitvec row(k + d);
+      row.set(i);
+      row.copy_bits_from(p, 0, d, k);
+      source.insert(row);
+    }
+    bit_decoder sink(k, d);
+    std::size_t fed = 0;
+    while (!sink.complete()) {
+      auto combo = source.random_combination(r);
+      ASSERT_TRUE(combo.has_value());
+      sink.insert(*combo);
+      ASSERT_LT(++fed, 1000u);  // rank grows with prob 1/2 per draw
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(sink.decode(i), payloads[i]);
+    }
+  }
+}
+
+TEST(bit_decoder, rank_is_monotone_and_bounded) {
+  const std::size_t k = 12, d = 12;
+  rng r(15);
+  bit_decoder full(k, d);
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(d);
+    p.randomize(r);
+    bitvec row(k + d);
+    row.set(i);
+    row.copy_bits_from(p, 0, d, k);
+    full.insert(row);
+  }
+  bit_decoder dec(k, d);
+  std::size_t prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto combo = full.random_combination(r);
+    dec.insert(*combo);
+    EXPECT_GE(dec.rank(), prev);
+    EXPECT_LE(dec.rank(), k);
+    prev = dec.rank();
+  }
+}
+
+TEST(bit_decoder, senses_definition_5_1) {
+  // A node senses mu iff some received coefficient vector is non-orthogonal
+  // to mu.  Seed e_0; mu = e_0 is sensed, mu = e_1 is not.
+  const std::size_t k = 4, d = 4;
+  bit_decoder dec(k, d);
+  bitvec row(k + d);
+  row.set(0);
+  row.set(k + 2);
+  dec.insert(row);
+  bitvec mu0(k), mu1(k);
+  mu0.set(0);
+  mu1.set(1);
+  EXPECT_TRUE(dec.senses(mu0));
+  EXPECT_FALSE(dec.senses(mu1));
+}
+
+// --- generic field decoder, cross-checked against the packed one ---
+
+template <class F>
+class field_decoder_suite : public ::testing::Test {};
+
+using decoder_fields = ::testing::Types<gf2, gf16, gf256, gf65536, mersenne61>;
+TYPED_TEST_SUITE(field_decoder_suite, decoder_fields);
+
+TYPED_TEST(field_decoder_suite, seeds_then_decodes) {
+  using F = TypeParam;
+  const std::size_t k = 8, m = 6;
+  rng r(16);
+  field_decoder<F> dec(k, m);
+  std::vector<std::vector<typename F::value_type>> payloads;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<typename F::value_type> p(m);
+    for (auto& v : p) v = F::uniform(r);
+    payloads.push_back(p);
+    std::vector<typename F::value_type> row(k + m, F::zero());
+    row[i] = F::one();
+    std::copy(p.begin(), p.end(), row.begin() + k);
+    EXPECT_TRUE(dec.insert(row));
+  }
+  EXPECT_TRUE(dec.complete());
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(dec.decode(i), payloads[i]);
+}
+
+TYPED_TEST(field_decoder_suite, random_recoding_roundtrip) {
+  using F = TypeParam;
+  const std::size_t k = 6, m = 4;
+  rng r(17);
+  field_decoder<F> source(k, m);
+  std::vector<std::vector<typename F::value_type>> payloads;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<typename F::value_type> p(m);
+    for (auto& v : p) v = F::uniform(r);
+    payloads.push_back(p);
+    std::vector<typename F::value_type> row(k + m, F::zero());
+    row[i] = F::one();
+    std::copy(p.begin(), p.end(), row.begin() + k);
+    source.insert(row);
+  }
+  field_decoder<F> sink(k, m);
+  int fed = 0;
+  while (!sink.complete()) {
+    auto combo = source.random_combination(r);
+    ASSERT_TRUE(combo.has_value());
+    sink.insert(*combo);
+    ASSERT_LT(++fed, 2000);
+  }
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(sink.decode(i), payloads[i]);
+}
+
+TEST(decoder_cross_check, packed_and_generic_agree_on_rank) {
+  // Same GF(2) rows through bit_decoder and field_decoder<gf2>.
+  const std::size_t k = 10, d = 10;
+  rng r(18);
+  for (int trial = 0; trial < 30; ++trial) {
+    bit_decoder packed(k, d);
+    field_decoder<gf2> generic(k, d);
+    for (int i = 0; i < 25; ++i) {
+      bitvec row(k + d);
+      row.randomize(r);
+      // Make the row consistent: zero the payload region's dependence —
+      // instead build from a seeded source so payload = f(coeffs).
+      (void)row;
+    }
+    // Build a consistent source first.
+    bit_decoder source(k, d);
+    for (std::size_t i = 0; i < k; ++i) {
+      bitvec p(d);
+      p.randomize(r);
+      bitvec row(k + d);
+      row.set(i);
+      row.copy_bits_from(p, 0, d, k);
+      source.insert(row);
+    }
+    for (int i = 0; i < 25; ++i) {
+      auto combo = source.random_combination(r);
+      std::vector<gf2::value_type> grow(k + d, 0);
+      for (std::size_t j = 0; j < k + d; ++j) grow[j] = combo->get(j) ? 1 : 0;
+      const bool a = packed.insert(*combo);
+      const bool b = generic.insert(grow);
+      EXPECT_EQ(a, b);
+      EXPECT_EQ(packed.rank(), generic.rank());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncdn

@@ -1,0 +1,115 @@
+// MIS and patching invariants (system S13 / paper §8.1).
+#include <gtest/gtest.h>
+
+#include "dynnet/generators.hpp"
+#include "mis/mis.hpp"
+#include "mis/patching.hpp"
+
+namespace ncdn {
+namespace {
+
+TEST(luby_mis, independent_and_maximal_across_graphs_and_seeds) {
+  rng r(1);
+  for (int seed = 0; seed < 5; ++seed) {
+    for (const graph& g :
+         {gen::path(30), gen::ring(30), gen::star(30), gen::clique(12),
+          gen::grid(6, 5), gen::random_connected(40, 30, r)}) {
+      const auto mis = luby_mis(const_cast<graph&>(g), r);
+      EXPECT_TRUE(is_independent_set(g, mis));
+      EXPECT_TRUE(is_maximal_independent_set(g, mis));
+    }
+  }
+}
+
+TEST(greedy_mis, independent_and_maximal) {
+  rng r(2);
+  for (const graph& g :
+       {gen::path(25), gen::ring(24), gen::clique(9), gen::grid(5, 5),
+        gen::random_connected(35, 20, r)}) {
+    const auto mis = greedy_mis(g);
+    EXPECT_TRUE(is_independent_set(g, mis));
+    EXPECT_TRUE(is_maximal_independent_set(g, mis));
+  }
+}
+
+TEST(greedy_mis, star_center_dominates) {
+  const graph g = gen::star(10);
+  const auto mis = greedy_mis(g);
+  ASSERT_EQ(mis.size(), 1u);
+  EXPECT_EQ(mis[0], 0u);  // the hub has the smallest uid
+}
+
+TEST(mis_oracles, detect_violations) {
+  const graph g = gen::path(4);  // 0-1-2-3
+  EXPECT_FALSE(is_independent_set(g, {0, 1}));
+  EXPECT_TRUE(is_independent_set(g, {0, 2}));
+  EXPECT_FALSE(is_maximal_independent_set(g, {0}));  // 2,3 uncovered
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 2}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 3}));
+}
+
+class patching_suite
+    : public ::testing::TestWithParam<std::pair<int, std::uint32_t>> {};
+
+TEST_P(patching_suite, invariants_hold) {
+  const auto [gi, d] = GetParam();
+  rng r(3 + gi);
+  graph g;
+  switch (gi) {
+    case 0: g = gen::path(40); break;
+    case 1: g = gen::ring(40); break;
+    case 2: g = gen::grid(8, 5); break;
+    case 3: g = gen::random_connected(40, 25, r); break;
+    default: g = gen::binary_tree(40); break;
+  }
+  const graph gd = g.power(d);
+  rng mr(17);
+  const auto mis = luby_mis(gd, mr);
+  ASSERT_TRUE(is_maximal_independent_set(gd, mis));
+  const patch_set p = build_patches(g, d, mis);
+  EXPECT_TRUE(patches_valid(g, p));
+  // Paper's size bound: every patch has >= min(d/2, ...) vertices; in a
+  // connected n-node graph a radius-r ball has >= r + 1 vertices.
+  for (const auto& members : p.members) {
+    EXPECT_GE(members.size(), static_cast<std::size_t>(d / 2 + 1) <= 40
+                                  ? static_cast<std::size_t>(d / 2 + 1)
+                                  : 40u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    graphs_by_radius, patching_suite,
+    ::testing::Values(std::pair{0, 1u}, std::pair{0, 3u}, std::pair{0, 6u},
+                      std::pair{1, 2u}, std::pair{1, 5u}, std::pair{2, 2u},
+                      std::pair{2, 4u}, std::pair{3, 3u}, std::pair{4, 2u},
+                      std::pair{4, 4u}));
+
+TEST(patching, single_patch_when_d_covers_graph) {
+  const graph g = gen::path(10);
+  const graph gd = g.power(9);
+  const auto mis = greedy_mis(gd);  // one vertex dominates everything
+  ASSERT_EQ(mis.size(), 1u);
+  const patch_set p = build_patches(g, 9, mis);
+  EXPECT_TRUE(patches_valid(g, p));
+  EXPECT_EQ(p.patch_count(), 1u);
+  EXPECT_EQ(p.members[0].size(), 10u);
+}
+
+TEST(patching, tree_edges_are_graph_edges) {
+  rng r(11);
+  const graph g = gen::random_connected(30, 15, r);
+  const graph gd = g.power(3);
+  const auto mis = luby_mis(gd, r);
+  const patch_set p = build_patches(g, 3, mis);
+  for (node_id v = 0; v < 30; ++v) {
+    if (p.parent[v] != v) {
+      EXPECT_TRUE(g.has_edge(v, p.parent[v]));
+      // children lists are consistent with parents
+      const auto& kids = p.children[p.parent[v]];
+      EXPECT_NE(std::find(kids.begin(), kids.end(), v), kids.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncdn

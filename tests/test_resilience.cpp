@@ -1,0 +1,142 @@
+// Failure-injection and bottleneck-topology tests: the Las-Vegas recovery
+// machinery (fail flags + reinstatement) under deliberately skimpy whp
+// budgets, and dissemination through one-edge cuts.
+#include <gtest/gtest.h>
+
+#include "protocols/greedy_forward.hpp"
+#include "protocols/naive_indexed.hpp"
+#include "protocols/priority_forward.hpp"
+#include "protocols/rlnc_broadcast.hpp"
+
+namespace ncdn {
+namespace {
+
+TEST(resilience, priority_forward_recovers_from_decode_failures) {
+  // broadcast_factor ~1.1 makes decode failures frequent; the fail-flag
+  // path must still converge to full dissemination.
+  const std::size_t n = 16, k = 16, d = 8, b = 32;
+  rng r(3);
+  const auto dist = make_distribution(n, k, d, placement::one_per_node, r);
+  auto adv = make_permuted_path(n, 5);
+  network net(n, b, *adv, 7);
+  token_state st(dist);
+  priority_forward_config cfg;
+  cfg.b_bits = b;
+  cfg.broadcast_factor = 1.1;
+  cfg.max_iterations = 4000;
+  cfg.skip_greedy_phase = true;
+  const priority_forward_result res = run_priority_forward(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(resilience, naive_indexed_recovers_from_decode_failures) {
+  const std::size_t n = 16, k = 16, d = 8, b = 48;
+  rng r(11);
+  const auto dist = make_distribution(n, k, d, placement::one_per_node, r);
+  auto adv = make_permuted_path(n, 13);
+  network net(n, b, *adv, 17);
+  token_state st(dist);
+  naive_indexed_config cfg;
+  cfg.b_bits = b;
+  cfg.broadcast_factor = 1.1;
+  cfg.max_iterations = 4000;
+  const protocol_result res = run_naive_indexed(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(resilience, greedy_forward_with_adaptive_adversary_and_tight_budget) {
+  // The E16 thrash scenario in miniature: tight budget + rank-sorted
+  // adversary; must still terminate correctly, just slowly.
+  const std::size_t n = 12, k = 12, d = 8, b = 16;
+  rng r(19);
+  const auto dist = make_distribution(n, k, d, placement::one_per_node, r);
+  auto adv = make_sorted_path();
+  network net(n, b, *adv, 23);
+  token_state st(dist);
+  greedy_forward_config cfg;
+  cfg.b_bits = b;
+  cfg.broadcast_factor = 2.0;
+  cfg.max_epochs = 5000;
+  const protocol_result res = run_greedy_forward(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(resilience, dissemination_through_a_one_edge_cut) {
+  // Dumbbell: all information between the halves crosses one edge.  Both
+  // forwarding-based and coded dissemination must squeeze through.
+  const std::size_t n = 16, k = 16, d = 8, b = 32;
+  {
+    rng r(29);
+    const auto dist = make_distribution(n, k, d, placement::one_per_node, r);
+    static_adversary adv(gen::dumbbell(n));
+    network net(n, b, adv, 31);
+    token_state st(dist);
+    greedy_forward_config cfg;
+    cfg.b_bits = b;
+    const protocol_result res = run_greedy_forward(net, st, cfg);
+    EXPECT_TRUE(res.complete);
+  }
+  {
+    // Pure RLNC through the cut: rank flows one dimension per round across
+    // the bridge, so completion takes ~items extra rounds but succeeds.
+    static_adversary adv(gen::dumbbell(n));
+    network net(n, 8 + 16, adv, 37);
+    rlnc_session s(n, 8, 16);
+    rng r(41);
+    for (std::size_t i = 0; i < 8; ++i) {
+      bitvec p(16);
+      p.randomize(r);
+      s.seed(0, i, p);  // all items on one side of the cut
+    }
+    s.run(net, 2000, true);
+    EXPECT_TRUE(s.all_complete());
+  }
+}
+
+TEST(resilience, rlnc_with_absent_item_never_completes_but_stays_sane) {
+  // If an item is never seeded anywhere, rank saturates at k-1 and the
+  // session reports incomplete rather than decoding garbage.
+  const std::size_t n = 8, k = 4, d = 8;
+  auto adv = make_permuted_path(n, 43);
+  network net(n, k + d, *adv, 47);
+  rlnc_session s(n, k, d);
+  rng r(53);
+  for (std::size_t i = 0; i < k - 1; ++i) {  // item k-1 missing
+    bitvec p(d);
+    p.randomize(r);
+    s.seed(static_cast<node_id>(i), i, p);
+  }
+  const round_t used = s.run(net, 500, true);
+  EXPECT_EQ(used, 500u);  // ran to the cap
+  EXPECT_FALSE(s.all_complete());
+  for (node_id u = 0; u < n; ++u) {
+    EXPECT_LE(s.decoder(u).rank(), k - 1);
+    EXPECT_FALSE(s.decoder(u).can_decode(k - 1));
+  }
+}
+
+TEST(resilience, token_state_reinstate_requires_knowledge) {
+  rng r(59);
+  const auto dist = make_distribution(4, 4, 8, placement::one_per_node, r);
+  token_state st(dist);
+  // Reinstating a token the node does not know is a contract violation.
+  EXPECT_DEATH(st.reinstate(0, 1), "precondition");
+}
+
+TEST(resilience, star_hub_bottleneck) {
+  // On a static star the hub relays everything; coded blocks still get
+  // through and the spokes (which only ever hear the hub) decode.
+  const std::size_t n = 12, k = 12, d = 8, b = 32;
+  rng r(61);
+  const auto dist = make_distribution(n, k, d, placement::one_per_node, r);
+  static_adversary adv(gen::star(n));
+  network net(n, b, adv, 67);
+  token_state st(dist);
+  greedy_forward_config cfg;
+  cfg.b_bits = b;
+  const protocol_result res = run_greedy_forward(net, st, cfg);
+  EXPECT_TRUE(res.complete);
+}
+
+}  // namespace
+}  // namespace ncdn

@@ -1,0 +1,112 @@
+// Statistics, curve fitting, and the table printer (experiment harness
+// substrate — the benches' conclusions depend on these being right).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace ncdn {
+namespace {
+
+TEST(summarize, basic_moments) {
+  const summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(summarize, even_count_median) {
+  const summary s = summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(summarize, empty_and_singleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const summary s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(linear_fit, exact_line) {
+  const linear_fit_result f = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(linear_fit, noisy_line_r2_below_one) {
+  const linear_fit_result f = linear_fit({1, 2, 3, 4}, {3, 5.5, 6.5, 9});
+  EXPECT_NEAR(f.slope, 1.9, 0.2);
+  EXPECT_LT(f.r_squared, 1.0);
+  EXPECT_GT(f.r_squared, 0.9);
+}
+
+TEST(power_fit, exact_quadratic) {
+  const power_fit_result f = power_fit({1, 2, 4, 8}, {3, 12, 48, 192});
+  EXPECT_NEAR(f.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(f.coefficient, 3.0, 1e-9);
+}
+
+TEST(power_fit, inverse_law) {
+  const power_fit_result f = power_fit({1, 2, 4, 8}, {100, 50, 25, 12.5});
+  EXPECT_NEAR(f.exponent, -1.0, 1e-9);
+}
+
+TEST(power_fit, ignores_nonpositive_points) {
+  const power_fit_result f = power_fit({0, 1, 2, 4}, {5, 3, 6, 12});
+  EXPECT_NEAR(f.exponent, 1.0, 1e-9);  // the (0,5) point is dropped
+}
+
+TEST(text_table, renders_aligned_markdown) {
+  text_table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a    | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| yyyy | 2           |"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("|------"), std::string::npos);
+}
+
+TEST(text_table, numeric_formatting) {
+  EXPECT_EQ(text_table::num(std::size_t{42}), "42");
+  EXPECT_EQ(text_table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(text_table::num(2.0), "2");
+}
+
+TEST(experiment_env, trials_fallback) {
+  // Without the env var set, the fallback is returned.
+  unsetenv("NCDN_TRIALS");
+  EXPECT_EQ(trials_from_env(7), 7u);
+  setenv("NCDN_TRIALS", "13", 1);
+  EXPECT_EQ(trials_from_env(7), 13u);
+  unsetenv("NCDN_TRIALS");
+}
+
+TEST(experiment_env, scale_fallback) {
+  unsetenv("NCDN_SCALE");
+  EXPECT_DOUBLE_EQ(scale_from_env(), 1.0);
+  setenv("NCDN_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 2.5);
+  unsetenv("NCDN_SCALE");
+}
+
+TEST(measure_over_seeds, passes_distinct_seeds) {
+  std::vector<std::uint64_t> seen;
+  measure_over_seeds(
+      [&](std::uint64_t seed) {
+        seen.push_back(seed);
+        return static_cast<double>(seed);
+      },
+      4, 10);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+}
+
+}  // namespace
+}  // namespace ncdn
