@@ -10,6 +10,9 @@ int main() {
             "linear in 1/b");
   const std::size_t trials = trials_from_env(3);
   const double scale = scale_from_env();
+  bench::json_recorder rec("E1");
+  rec.config("trials", trials);
+  rec.config("scale", scale);
 
   {
     std::printf("\n(a) rounds vs n   [k = n, d = b = 16, permuted-path]\n");
@@ -24,6 +27,10 @@ int main() {
       t.add_row({text_table::num(ns), text_table::num(rounds),
                  text_table::num(model),
                  text_table::fixed(rounds / model, 3)});
+      rec.row("rounds_vs_n", {{"n", ns},
+                              {"rounds", rounds},
+                              {"model", model},
+                              {"ratio", rounds / model}});
     }
     t.print();
   }
@@ -39,6 +46,10 @@ int main() {
       const double rounds = bench::mean_rounds(prob, opts, trials);
       t.add_row({text_table::num(b), text_table::num(rounds),
                  text_table::num(rounds * static_cast<double>(b))});
+      rec.row("rounds_vs_b",
+              {{"b", std::size_t{b}},
+               {"rounds", rounds},
+               {"rounds_times_b", rounds * static_cast<double>(b)}});
     }
     t.print();
   }
@@ -51,8 +62,10 @@ int main() {
           topology_kind::sorted_path, topology_kind::random_connected}) {
       problem prob{.n = 96, .k = 96, .d = 16, .b = 16};
       run_options opts{.alg = algorithm::token_forwarding, .topo = topo};
-      t.add_row({to_string(topo),
-                 text_table::num(bench::mean_rounds(prob, opts, trials))});
+      const double rounds = bench::mean_rounds(prob, opts, trials);
+      t.add_row({to_string(topo), text_table::num(rounds)});
+      rec.row("adversary_independence",
+              {{"adversary", to_string(topo)}, {"rounds", rounds}});
     }
     t.print();
   }

@@ -39,6 +39,9 @@ int main() {
       "E2", "Lemma 5.3 — RLNC indexed broadcast: O(n + k) rounds, any "
             "adversary, messages k*lg q + d bits");
   const std::size_t trials = trials_from_env(3);
+  bench::json_recorder rec("E2");
+  rec.config("trials", trials);
+  rec.config("d", std::size_t{16});
 
   for (const char* adv_kind : {"permuted-path", "sorted-path", "static-path"}) {
     std::printf("\nadversary: %s   [d = 16]\n", adv_kind);
@@ -57,11 +60,19 @@ int main() {
       t.add_row({text_table::num(std::size_t{n}), text_table::num(std::size_t{k}),
                  text_table::num(s.mean),
                  text_table::fixed(s.mean / static_cast<double>(n + k), 3)});
+      rec.row(std::string("rounds_") + adv_kind,
+              {{"n", std::size_t{n}},
+               {"k", std::size_t{k}},
+               {"rounds", s.mean},
+               {"rounds_per_n_plus_k",
+                s.mean / static_cast<double>(n + k)}});
     }
     t.print();
     const power_fit_result fit = power_fit(xs, ys);
     std::printf("power fit: rounds ~ (n+k)^%.2f   (paper: exponent 1.0)\n",
                 fit.exponent);
+    rec.row("power_fits",
+            {{"adversary", adv_kind}, {"exponent", fit.exponent}});
   }
   std::printf("\nPaper check: rounds/(n+k) is a flat constant and the "
               "power-fit exponent is ~1 — linear time, even against the "

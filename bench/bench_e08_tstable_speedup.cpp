@@ -12,6 +12,8 @@ int main() {
       "E8", "Thm 2.4 — T-stable speedups: forwarding <= T, chunked coding "
             "~T, patch coding ~T^2");
   const std::size_t trials = trials_from_env(3);
+  bench::json_recorder rec("E8");
+  rec.config("trials", trials);
 
   const std::size_t n = 128, k = 128, d = 8, b = 16;
   std::printf("\n[n = k = %zu, d = %zu, b = %zu; T-stable permuted path; "
@@ -44,6 +46,12 @@ int main() {
                text_table::num(r_fwd), text_table::fixed(base_fwd / r_fwd, 2),
                text_table::num(r_nc), text_table::fixed(base_nc / r_nc, 2),
                engine});
+    rec.row("speedup_vs_T", {{"T", static_cast<std::size_t>(T)},
+                             {"forwarding_rounds", r_fwd},
+                             {"forwarding_speedup", base_fwd / r_fwd},
+                             {"coding_rounds", r_nc},
+                             {"coding_speedup", base_nc / r_nc},
+                             {"engine", engine}});
   }
   t.print();
   std::printf(
@@ -101,6 +109,12 @@ int main() {
                 text_table::fixed(rate_patch, 2),
                 text_table::fixed(rate_chunked, 2),
                 text_table::fixed(rate_patch / rate_chunked, 2) + "x"});
+    rec.row("throughput_patch_vs_chunked",
+            {{"T", static_cast<std::size_t>(T)},
+             {"patch_radius", static_cast<std::size_t>(plan.d_patch)},
+             {"patch_bits_per_round", rate_patch},
+             {"chunked_bits_per_round", rate_chunked},
+             {"patch_advantage", rate_patch / rate_chunked}});
   }
   t2.print();
   std::printf(

@@ -29,6 +29,17 @@ constexpr unsigned bits_for(std::uint64_t n) noexcept {
   return n <= 2 ? 1u : log2ceil(n);
 }
 
+/// FNV-1a over a byte range (stable name-hashing, e.g. per-scenario seed
+/// derivation).  Not cryptographic.
+constexpr std::uint64_t fnv1a(const char* data, std::size_t len) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
   return (a + b - 1) / b;
 }

@@ -7,6 +7,7 @@
 #include "protocols/greedy_forward.hpp"
 #include "protocols/naive_indexed.hpp"
 #include "protocols/priority_forward.hpp"
+#include "protocols/rlnc_broadcast.hpp"
 #include "protocols/tstable_dissemination.hpp"
 
 namespace ncdn {
@@ -24,6 +25,7 @@ const char* to_string(algorithm a) {
     case algorithm::tstable_chunked: return "tstable/chunked";
     case algorithm::tstable_patch_gather: return "tstable/patch-gather";
     case algorithm::centralized_rlnc: return "centralized-rlnc";
+    case algorithm::rlnc_direct: return "rlnc-direct";
   }
   return "?";
 }
@@ -141,6 +143,28 @@ run_report run_dissemination(const problem& prob, const run_options& opts) {
       cfg.b_bits = prob.b;
       static_cast<protocol_result&>(report) =
           run_centralized_rlnc(net, st, cfg);
+      break;
+    }
+    case algorithm::rlnc_direct: {
+      // Lemma 5.3 run standalone: global indexing is granted (indices in
+      // the sorted distribution), every node seeds its initial tokens, and
+      // everyone broadcasts random GF(2) combinations until all decoders
+      // are full rank.  Messages cost k + d bits, so b must be at least
+      // (k + d) / 2 to fit the network's O(b) budget.
+      NCDN_EXPECTS(2 * prob.b >= dist.k() + prob.d);
+      rlnc_session session(prob.n, dist.k(), prob.d);
+      for (node_id u = 0; u < prob.n; ++u) {
+        for (std::size_t t : dist.held_by_node[u]) {
+          session.seed(u, t, dist.tokens[t].payload);
+        }
+      }
+      // Whp bound is O(n + k); the cap only guards against the 2^-n tail.
+      const round_t cap = static_cast<round_t>(16 * (prob.n + dist.k()) + 64);
+      const round_t used = session.run(net, cap, /*stop_early=*/true);
+      report.rounds = used;
+      report.complete = session.all_complete();
+      report.completion_round = report.complete ? used : 0;
+      report.max_message_bits = net.max_observed_message_bits();
       break;
     }
   }

@@ -31,6 +31,8 @@ enum class algorithm {
   tstable_chunked,             // §8 first idea only (factor T)
   tstable_patch_gather,        // §8.3 mode B: in-patch pipelined gathering
   centralized_rlnc,            // Cor 2.6
+  rlnc_direct,                 // Lemma 5.3 indexed broadcast run standalone
+                               // (global indexing granted; b >= (k+d)/2)
 };
 
 enum class topology_kind {

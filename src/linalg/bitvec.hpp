@@ -6,6 +6,7 @@
 // laptop-scale simulation of n-node x k-token instances cheap.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -94,11 +95,15 @@ class bitvec {
     return c;
   }
 
-  /// Dot product over GF(2): parity of AND.
+  /// Dot product over GF(2): parity of AND, word-parallel (AND words,
+  /// XOR-fold, popcount parity).  Sizes may differ: the shorter vector is
+  /// treated as zero-extended, so dotting a k-bit mask against a longer
+  /// [coefficients | payload] row needs no slicing.  (Bits past size() are
+  /// zero by invariant, so the overlap word at the boundary is exact.)
   bool dot(const bitvec& other) const noexcept {
-    NCDN_EXPECTS(bits_ == other.bits_);
+    const std::size_t common = std::min(words_.size(), other.words_.size());
     std::uint64_t acc = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
+    for (std::size_t w = 0; w < common; ++w) {
       acc ^= words_[w] & other.words_[w];
     }
     return (std::popcount(acc) & 1) != 0;

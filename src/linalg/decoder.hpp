@@ -76,15 +76,12 @@ class bit_decoder {
 
   /// True iff some basis row's coefficient part is non-orthogonal to mu
   /// (Definition 5.1 "senses"; equivalent over the received span).
+  /// Word-parallel via bitvec::dot — mu is coeff_dim bits, so the dot
+  /// never touches a row's payload words.
   bool senses(const bitvec& mu) const {
     NCDN_EXPECTS(mu.size() == coeff_dim_);
     for (const bitvec& row : rows_) {
-      bool dot = false;
-      for (std::size_t i = mu.first_set(); i < mu.size();
-           i = mu.first_set_from(i + 1)) {
-        dot ^= row.get(i);
-      }
-      if (dot) return true;
+      if (mu.dot(row)) return true;
     }
     return false;
   }

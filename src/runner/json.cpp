@@ -1,0 +1,332 @@
+#include "runner/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncdn::json {
+
+void escape_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string format_number(double d) {
+  // JSON has no Inf/NaN; degrade to null so the document stays parseable
+  // (a divide-by-zero ratio should not poison a whole sweep file).
+  if (!std::isfinite(d)) return "null";
+  // Integral values within the exactly-representable range print as
+  // integers; this covers every counter the runner emits and keeps files
+  // byte-stable across libc printf implementations.
+  if (std::nearbyint(d) == d && std::fabs(d) <= 9007199254740992.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+void value::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int d) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case kind::null: out += "null"; break;
+    case kind::boolean: out += bool_ ? "true" : "false"; break;
+    case kind::number: out += format_number(num_); break;
+    case kind::string: escape_string(str_, out); break;
+    case kind::array:
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        if (pretty) newline_pad(depth + 1);
+        arr_[i].write(out, indent, depth + 1);
+      }
+      if (pretty && !arr_.empty()) newline_pad(depth);
+      out.push_back(']');
+      break;
+    case kind::object:
+      out.push_back('{');
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        if (pretty) newline_pad(depth + 1);
+        escape_string(obj_[i].first, out);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        obj_[i].second.write(out, indent, depth + 1);
+      }
+      if (pretty && !obj_.empty()) newline_pad(depth);
+      out.push_back('}');
+      break;
+  }
+}
+
+std::string value::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string value::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+class parser {
+ public:
+  explicit parser(const std::string& text) : s_(text) {}
+
+  parse_result run() {
+    parse_result res;
+    skip_ws();
+    res.root = parse_value(res);
+    if (res.error.empty()) {
+      skip_ws();
+      if (pos_ != s_.size()) fail(res, "trailing characters after document");
+    }
+    res.ok = res.error.empty();
+    return res;
+  }
+
+ private:
+  void fail(parse_result& res, const std::string& why) {
+    if (res.error.empty()) {
+      res.error = "json parse error at byte " + std::to_string(pos_) + ": " + why;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t i = 0;
+    while (word[i] != '\0') {
+      if (pos_ + i >= s_.size() || s_[pos_ + i] != word[i]) return false;
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  value parse_value(parse_result& res) {
+    if (pos_ >= s_.size()) {
+      fail(res, "unexpected end of input");
+      return {};
+    }
+    switch (s_[pos_]) {
+      case '{': return parse_object(res);
+      case '[': return parse_array(res);
+      case '"': return value{parse_string(res)};
+      case 't':
+        if (literal("true")) return value{true};
+        break;
+      case 'f':
+        if (literal("false")) return value{false};
+        break;
+      case 'n':
+        if (literal("null")) return value{nullptr};
+        break;
+      default: return parse_number(res);
+    }
+    fail(res, "unrecognized token");
+    return {};
+  }
+
+  value parse_object(parse_result& res) {
+    ++pos_;  // '{'
+    object o;
+    skip_ws();
+    if (consume('}')) return value{std::move(o)};
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        fail(res, "expected object key");
+        return {};
+      }
+      std::string key = parse_string(res);
+      skip_ws();
+      if (!consume(':')) {
+        fail(res, "expected ':' after key");
+        return {};
+      }
+      skip_ws();
+      value v = parse_value(res);
+      if (!res.error.empty()) return {};
+      o.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return value{std::move(o)};
+      fail(res, "expected ',' or '}' in object");
+      return {};
+    }
+  }
+
+  value parse_array(parse_result& res) {
+    ++pos_;  // '['
+    array a;
+    skip_ws();
+    if (consume(']')) return value{std::move(a)};
+    while (true) {
+      skip_ws();
+      value v = parse_value(res);
+      if (!res.error.empty()) return {};
+      a.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return value{std::move(a)};
+      fail(res, "expected ',' or ']' in array");
+      return {};
+    }
+  }
+
+  std::string parse_string(parse_result& res) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            fail(res, "truncated \\u escape");
+            return out;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail(res, "bad hex digit in \\u escape");
+              return out;
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs unhandled;
+          // the emitter only produces \u00XX control escapes).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail(res, "unknown escape");
+          return out;
+      }
+    }
+    fail(res, "unterminated string");
+    return out;
+  }
+
+  value parse_number(parse_result& res) {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — strtod alone would also accept "+5", ".5", and "01".
+    const std::size_t start = pos_;
+    const auto digit = [&]() {
+      return pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9';
+    };
+    consume('-');
+    if (!digit()) {
+      fail(res, "expected number");
+      return {};
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (consume('.')) {
+      if (!digit()) {
+        fail(res, "expected fraction digits");
+        return {};
+      }
+      while (digit()) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (!consume('+')) consume('-');
+      if (!digit()) {
+        fail(res, "expected exponent digits");
+        return {};
+      }
+      while (digit()) ++pos_;
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    return value{std::strtod(tok.c_str(), nullptr)};
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+parse_result parse(const std::string& text) { return parser(text).run(); }
+
+}  // namespace ncdn::json

@@ -1,0 +1,112 @@
+// Minimal JSON tree + deterministic serializer + strict parser.
+//
+// The sweep runner and the bench binaries emit machine-readable results
+// (ncdn-run --out, BENCH_*.json); tests parse them back to spot-check
+// structure.  Design constraints, in order:
+//   1. determinism — objects keep insertion order and numbers format
+//      identically across runs, so equal sweeps dump byte-identical files;
+//   2. zero dependencies — the container bakes no JSON library;
+//   3. smallness — only what the runner needs (no comments; non-finite
+//      numbers serialize as null; UTF-8 passed through verbatim).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ncdn::json {
+
+class value;
+
+/// Arrays are plain vectors; objects are insertion-ordered key/value lists
+/// (deterministic output; duplicate keys are the caller's bug).
+using array = std::vector<value>;
+using object = std::vector<std::pair<std::string, value>>;
+
+enum class kind { null, boolean, number, string, array, object };
+
+class value {
+ public:
+  value() : kind_(kind::null) {}
+  value(std::nullptr_t) : kind_(kind::null) {}
+  value(bool b) : kind_(kind::boolean), bool_(b) {}
+  value(double d) : kind_(kind::number), num_(d) {}
+  // One constrained template instead of per-type overloads: int, size_t,
+  // uint64_t, round_t, ... all land here without ambiguity on platforms
+  // where size_t is a distinct type from uint64_t (e.g. macOS).
+  template <class T>
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  value(T v) : kind_(kind::number), num_(static_cast<double>(v)) {}
+  value(const char* s) : kind_(kind::string), str_(s) {}
+  value(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+  value(array a) : kind_(kind::array), arr_(std::move(a)) {}
+  value(object o) : kind_(kind::object), obj_(std::move(o)) {}
+
+  json::kind type() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == kind::null; }
+  bool is_bool() const noexcept { return kind_ == kind::boolean; }
+  bool is_number() const noexcept { return kind_ == kind::number; }
+  bool is_string() const noexcept { return kind_ == kind::string; }
+  bool is_array() const noexcept { return kind_ == kind::array; }
+  bool is_object() const noexcept { return kind_ == kind::object; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+  const array& items() const noexcept { return arr_; }
+  const object& members() const noexcept { return obj_; }
+  array& items() noexcept { return arr_; }
+  object& members() noexcept { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const value* find(const std::string& key) const noexcept {
+    if (kind_ != kind::object) return nullptr;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Compact, deterministic serialization (no whitespace).
+  std::string dump() const;
+
+  /// Pretty serialization, two-space indent (still deterministic).
+  std::string dump_pretty() const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  json::kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  array arr_;
+  object obj_;
+};
+
+/// Appends a member to an object under construction (builder sugar).
+inline void put(object& o, std::string key, value v) {
+  o.emplace_back(std::move(key), std::move(v));
+}
+
+/// Serializes a string with JSON escaping (used by the serializer; exposed
+/// for streaming writers like the bench recorder).
+void escape_string(const std::string& s, std::string& out);
+
+/// Deterministic number formatting: integral doubles in [-2^53, 2^53] print
+/// with no fraction; everything else uses shortest round-trip formatting.
+std::string format_number(double d);
+
+struct parse_result {
+  value root;
+  bool ok = false;
+  std::string error;  // human-readable position + reason when !ok
+};
+
+/// Strict recursive-descent parser for the subset we emit (full JSON minus
+/// \uXXXX surrogate pairs, which are passed through unvalidated).
+parse_result parse(const std::string& text);
+
+}  // namespace ncdn::json

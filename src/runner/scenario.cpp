@@ -1,0 +1,109 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+
+namespace ncdn::runner {
+
+namespace {
+
+struct proto_spec {
+  algorithm alg;
+  std::size_t b_bits;
+  round_t t_stability;
+  std::vector<std::size_t> sizes;  // n (= k: one token per node)
+};
+
+std::vector<scenario> build_registry() {
+  // Sizes keep the default full sweep interactive; NCDN-scale sweeps come
+  // from explicit --seeds / future size tiers, not from inflating these.
+  // d = 8 everywhere; b per protocol family (rlnc-direct needs
+  // b >= (k + d) / 2 to fit its k+d-bit coded messages in the O(b) budget).
+  const std::vector<proto_spec> protos = {
+      {algorithm::token_forwarding, 16, 1, {16, 32}},
+      {algorithm::token_forwarding_pipelined, 16, 1, {16}},
+      {algorithm::naive_indexed, 32, 1, {16, 32}},
+      {algorithm::greedy_forward, 32, 1, {16, 32}},
+      {algorithm::priority_forward_flooding, 32, 1, {16}},
+      {algorithm::priority_forward_charged, 32, 1, {16}},
+      {algorithm::rlnc_direct, 32, 1, {16, 32}},
+      {algorithm::centralized_rlnc, 32, 1, {16}},
+      {algorithm::tstable_auto, 32, 4, {16}},
+      // Patching needs a window long enough to build patches and run full
+      // broadcast cycles inside it (§8); T = 256 at n = 32, b = 16 is the
+      // sizing the patch tests prove feasible.
+      {algorithm::tstable_patch, 16, 256, {32}},
+      {algorithm::tstable_chunked, 32, 4, {16}},
+  };
+  const std::vector<topology_kind> advs = {
+      topology_kind::static_path,      topology_kind::static_star,
+      topology_kind::permuted_path,    topology_kind::random_connected,
+      topology_kind::random_geometric, topology_kind::sorted_path,
+  };
+
+  std::vector<scenario> out;
+  for (const proto_spec& p : protos) {
+    for (std::size_t n : p.sizes) {
+      for (topology_kind topo : advs) {
+        scenario s;
+        s.alg = p.alg;
+        s.topo = topo;
+        s.prob.n = n;
+        s.prob.k = n;
+        s.prob.d = 8;
+        s.prob.b = p.b_bits;
+        s.prob.t_stability = p.t_stability;
+        s.prob.place = placement::one_per_node;
+        s.name = std::string(to_string(p.alg)) + "/" + to_string(topo) +
+                 "/n" + std::to_string(n);
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<scenario>& scenario_registry() {
+  static const std::vector<scenario> registry = build_registry();
+  return registry;
+}
+
+const scenario* find_scenario(const std::string& name) {
+  for (const scenario& s : scenario_registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<scenario> scenarios_matching(const std::string& pattern) {
+  std::vector<scenario> out;
+  for (const scenario& s : scenario_registry()) {
+    if (pattern.empty() || s.name.find(pattern) != std::string::npos) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::size_t distinct_algorithms(const std::vector<scenario>& s) {
+  std::vector<algorithm> seen;
+  for (const scenario& sc : s) {
+    if (std::find(seen.begin(), seen.end(), sc.alg) == seen.end()) {
+      seen.push_back(sc.alg);
+    }
+  }
+  return seen.size();
+}
+
+std::size_t distinct_adversaries(const std::vector<scenario>& s) {
+  std::vector<topology_kind> seen;
+  for (const scenario& sc : s) {
+    if (std::find(seen.begin(), seen.end(), sc.topo) == seen.end()) {
+      seen.push_back(sc.topo);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace ncdn::runner

@@ -1,0 +1,43 @@
+// Scenario registry: named (protocol x adversary x size) configurations.
+//
+// A scenario is everything run_dissemination needs except the seed, under a
+// stable name like "greedy-forward/permuted-path/n32".  The built-in
+// registry spans the protocol families of the paper — flooding baselines
+// (Thm 2.1), the forwarding ladder (naive-indexed Cor 7.1, greedy Thm 7.3,
+// priority Thm 7.5 — all driven by the random-forward gathering primitive
+// of Lemma 7.2), direct and centralized RLNC (Lemma 5.3, Cor 2.6), and the
+// T-stable engines (§8) — against every adversary the facade knows.  Sweep
+// tooling (ncdn-run, tests, future perf tracking) selects by exact name or
+// substring so new scenarios are additive, never breaking existing sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dissemination.hpp"
+
+namespace ncdn::runner {
+
+struct scenario {
+  std::string name;    // "<algorithm>/<adversary>/n<nodes>"
+  algorithm alg = algorithm::greedy_forward;
+  topology_kind topo = topology_kind::permuted_path;
+  problem prob;
+};
+
+/// The built-in scenarios, built once, ordered deterministically
+/// (protocol-major, then adversary, then size).
+const std::vector<scenario>& scenario_registry();
+
+/// Exact-name lookup; nullptr when absent.
+const scenario* find_scenario(const std::string& name);
+
+/// All scenarios whose name contains `pattern` (empty selects everything).
+std::vector<scenario> scenarios_matching(const std::string& pattern);
+
+/// Distinct algorithm / adversary counts of a scenario list (coverage
+/// reporting; the sweep acceptance gate asserts these floors).
+std::size_t distinct_algorithms(const std::vector<scenario>& s);
+std::size_t distinct_adversaries(const std::vector<scenario>& s);
+
+}  // namespace ncdn::runner

@@ -1,0 +1,144 @@
+#include "runner/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/bits.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace ncdn::runner {
+
+std::uint64_t cell_seed(std::uint64_t base_seed,
+                        const std::string& scenario_name, std::size_t trial) {
+  std::uint64_t state = (base_seed ^
+                         fnv1a(scenario_name.data(), scenario_name.size())) +
+                        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(trial);
+  std::uint64_t seed = splitmix64(state);
+  // run_dissemination derives sub-seeds multiplicatively, so steer clear of
+  // the one degenerate value.
+  return seed == 0 ? 1 : seed;
+}
+
+sweep_result run_sweep(std::vector<scenario> scenarios,
+                       const sweep_options& opts) {
+  sweep_result result;
+  result.scenarios = std::move(scenarios);
+  result.options = opts;
+  if (result.options.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    result.options.threads = hw == 0 ? 2 : hw;
+  }
+
+  const std::size_t trials = result.options.trials;
+  result.cells.resize(result.scenarios.size() * trials);
+  // More workers than cells only burns thread spawns (and can make
+  // std::thread throw under a thread ulimit); clamp to the work available.
+  result.options.threads =
+      std::min(result.options.threads, std::max<std::size_t>(1, result.cells.size()));
+  for (std::size_t si = 0; si < result.scenarios.size(); ++si) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      cell_result& cell = result.cells[si * trials + t];
+      cell.scenario_index = si;
+      cell.trial = t;
+      cell.seed =
+          cell_seed(result.options.base_seed, result.scenarios[si].name, t);
+    }
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= result.cells.size()) return;
+      cell_result& cell = result.cells[i];
+      const scenario& scen = result.scenarios[cell.scenario_index];
+      run_options ro;
+      ro.alg = scen.alg;
+      ro.topo = scen.topo;
+      ro.seed = cell.seed;
+      cell.report = run_dissemination(scen.prob, ro);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(result.options.threads);
+  for (std::size_t w = 0; w < result.options.threads; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& th : pool) th.join();
+  return result;
+}
+
+json::value sweep_to_json(const sweep_result& result) {
+  json::object root;
+  json::put(root, "tool", "ncdn-run");
+  json::put(root, "format_version", std::uint64_t{1});
+
+  json::object config;
+  json::put(config, "trials", result.options.trials);
+  // Seeds are 64-bit identifiers, not quantities: as JSON numbers they
+  // would pass through double and lose low bits above 2^53, so they are
+  // emitted as digit strings, pasteable straight into `ncdn-run run --seed`.
+  json::put(config, "base_seed", std::to_string(result.options.base_seed));
+  json::put(config, "scenario_count", result.scenarios.size());
+  // Worker count is deliberately omitted: output is a pure function of
+  // (scenarios, trials, base_seed), independent of parallelism.
+  json::put(root, "config", json::value{std::move(config)});
+
+  json::array cells;
+  cells.reserve(result.cells.size());
+  for (const cell_result& cell : result.cells) {
+    const scenario& scen = result.scenarios[cell.scenario_index];
+    json::object c;
+    json::put(c, "scenario", scen.name);
+    json::put(c, "algorithm", to_string(scen.alg));
+    json::put(c, "adversary", to_string(scen.topo));
+    json::put(c, "n", scen.prob.n);
+    json::put(c, "k", scen.prob.k);
+    json::put(c, "d", scen.prob.d);
+    json::put(c, "b", scen.prob.b);
+    json::put(c, "t_stability", std::uint64_t{scen.prob.t_stability});
+    json::put(c, "trial", cell.trial);
+    json::put(c, "seed", std::to_string(cell.seed));
+    json::put(c, "rounds", std::uint64_t{cell.report.rounds});
+    json::put(c, "completion_round", std::uint64_t{cell.report.completion_round});
+    json::put(c, "complete", cell.report.complete);
+    json::put(c, "early_stop", cell.report.early_stop);
+    json::put(c, "max_message_bits", cell.report.max_message_bits);
+    json::put(c, "epochs", cell.report.epochs);
+    cells.push_back(json::value{std::move(c)});
+  }
+  json::put(root, "cells", json::value{std::move(cells)});
+
+  json::array summaries;
+  const std::size_t trials = result.options.trials;
+  for (std::size_t si = 0; si < result.scenarios.size(); ++si) {
+    std::vector<double> rounds;
+    rounds.reserve(trials);
+    bool all_complete = true;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const cell_result& cell = result.cells[si * trials + t];
+      rounds.push_back(static_cast<double>(cell.report.rounds));
+      all_complete = all_complete && cell.report.complete;
+    }
+    const summary s = summarize(std::move(rounds));
+    json::object row;
+    json::put(row, "scenario", result.scenarios[si].name);
+    json::put(row, "trials", trials);
+    json::put(row, "all_complete", all_complete);
+    json::object r;
+    json::put(r, "mean", s.mean);
+    json::put(r, "median", s.median);
+    json::put(r, "min", s.min);
+    json::put(r, "max", s.max);
+    json::put(row, "rounds", json::value{std::move(r)});
+    summaries.push_back(json::value{std::move(row)});
+  }
+  json::put(root, "scenarios", json::value{std::move(summaries)});
+
+  return json::value{std::move(root)};
+}
+
+}  // namespace ncdn::runner

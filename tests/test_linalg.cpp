@@ -266,6 +266,49 @@ TEST(bit_decoder, senses_definition_5_1) {
   EXPECT_FALSE(dec.senses(mu1));
 }
 
+TEST(bit_decoder, senses_matches_scalar_reference) {
+  // senses() is word-parallel (bitvec::dot); the reference below is the
+  // scalar bit-at-a-time definition it replaced.  Dimensions straddle word
+  // boundaries so the masked-tail overlap word is exercised.
+  const auto scalar_senses = [](const bit_decoder& dec, const bitvec& mu) {
+    for (const bitvec& row : dec.basis()) {
+      bool dot = false;
+      for (std::size_t i = mu.first_set(); i < mu.size();
+           i = mu.first_set_from(i + 1)) {
+        dot ^= row.get(i);
+      }
+      if (dot) return true;
+    }
+    return false;
+  };
+
+  rng r(21);
+  for (std::size_t k : {5u, 63u, 64u, 65u, 130u}) {
+    const std::size_t d = 24;
+    bit_decoder dec(k, d);
+    // Random consistent rows: payload = 0 keeps rows linear in coefficients.
+    for (std::size_t i = 0; i < k / 2 + 1; ++i) {
+      bitvec coeff(k);
+      coeff.randomize(r);
+      bitvec row(k + d);
+      row.copy_bits_from(coeff, 0, k, 0);
+      dec.insert(std::move(row));
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+      bitvec mu(k);
+      mu.randomize(r);
+      EXPECT_EQ(dec.senses(mu), scalar_senses(dec, mu))
+          << "k=" << k << " trial=" << trial;
+    }
+    // Edge cases: all-zero mu never sensed; single high bit.
+    bitvec zero(k);
+    EXPECT_FALSE(dec.senses(zero));
+    bitvec high(k);
+    high.set(k - 1);
+    EXPECT_EQ(dec.senses(high), scalar_senses(dec, high));
+  }
+}
+
 // --- generic field decoder, cross-checked against the packed one ---
 
 template <class F>
@@ -351,6 +394,51 @@ TEST(decoder_cross_check, packed_and_generic_agree_on_rank) {
       const bool b = generic.insert(grow);
       EXPECT_EQ(a, b);
       EXPECT_EQ(packed.rank(), generic.rank());
+    }
+  }
+}
+
+TEST(decoder_cross_check, packed_and_generic_agree_on_payloads_and_sensing) {
+  // Property test over random row streams: bit_decoder and
+  // field_decoder<gf2> must agree on innovativeness verdicts, rank at
+  // every step, and — once complete — on every decoded payload.
+  const std::size_t k = 12, d = 20;
+  rng r(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Ground-truth payloads feed a fully-seeded source decoder.
+    std::vector<bitvec> payloads;
+    bit_decoder source(k, d);
+    for (std::size_t i = 0; i < k; ++i) {
+      bitvec p(d);
+      p.randomize(r);
+      payloads.push_back(p);
+      bitvec row(k + d);
+      row.set(i);
+      row.copy_bits_from(p, 0, d, k);
+      source.insert(std::move(row));
+    }
+
+    bit_decoder packed(k, d);
+    field_decoder<gf2> generic(k, d);
+    int fed = 0;
+    while (!packed.complete() || !generic.complete()) {
+      auto combo = source.random_combination(r);
+      ASSERT_TRUE(combo.has_value());
+      std::vector<gf2::value_type> grow(k + d, 0);
+      for (std::size_t j = 0; j < k + d; ++j) grow[j] = combo->get(j) ? 1 : 0;
+      EXPECT_EQ(packed.insert(*combo), generic.insert(std::move(grow)));
+      EXPECT_EQ(packed.rank(), generic.rank());
+      ASSERT_LT(++fed, 4000);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const bitvec pp = packed.decode(i);
+      const auto gp = generic.decode(i);
+      ASSERT_EQ(pp.size(), d);
+      ASSERT_EQ(gp.size(), d);
+      EXPECT_EQ(pp, payloads[i]);
+      for (std::size_t bit = 0; bit < d; ++bit) {
+        EXPECT_EQ(pp.get(bit), gp[bit] != 0) << "token " << i << " bit " << bit;
+      }
     }
   }
 }

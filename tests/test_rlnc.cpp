@@ -167,6 +167,46 @@ TYPED_TEST(field_rlnc_suite, broadcast_decodes_over_any_field) {
   }
 }
 
+TEST(rlnc_wire_size, gf2_messages_cost_exactly_k_plus_s_bits) {
+  // Wire-size regression (Lemma 5.3): messages cost exactly k*lg q + s
+  // bits; at q = 2 that is k + s, with no hidden headers or padding.
+  const std::size_t n = 8, k = 12, s = 16;
+  auto adv = make_static_path(n);
+  network net(n, k + s, *adv, 5);
+  rlnc_session sess(n, k, s);
+  rng r(6);
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(s);
+    p.randomize(r);
+    sess.seed(static_cast<node_id>(i % n), i, p);
+  }
+  coded_msg probe{bitvec(k + s)};
+  EXPECT_EQ(probe.bit_size(), k + s);
+  sess.run(net, 4, false);
+  EXPECT_EQ(net.max_observed_message_bits(), k + s);
+}
+
+TEST(rlnc_wire_size, field_messages_cost_exactly_k_lgq_plus_s_bits) {
+  // Same regression over larger fields; s is a multiple of lg q so the
+  // symbol-packing padding vanishes and the Lemma 5.3 cost is exact.
+  const std::size_t n = 6, k = 10, s = 16;
+  field_rlnc_session<gf16> s16(n, k, s);
+  EXPECT_EQ(s16.wire_bits(), k * 4 + s);
+  field_rlnc_session<gf256> s256(n, k, s);
+  EXPECT_EQ(s256.wire_bits(), k * 8 + s);
+
+  auto adv = make_static_path(n);
+  network net(n, k * 4 + s, *adv, 7);
+  rng r(8);
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(s);
+    p.randomize(r);
+    s16.seed(static_cast<node_id>(i % n), i, to_symbols<gf16>(p));
+  }
+  s16.run(net, 4, false);
+  EXPECT_EQ(net.max_observed_message_bits(), k * 4 + s);
+}
+
 TEST(rlnc_shape, rounds_grow_linearly_not_quadratically) {
   // Lemma 5.3 sanity: doubling n roughly doubles rounds (k = n), far from
   // the quadratic growth of forwarding.  Averaged over seeds for stability.

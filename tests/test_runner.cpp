@@ -1,0 +1,196 @@
+// Runner subsystem tests: the JSON emitter/parser, the scenario registry's
+// coverage floors, and the parallel sweep engine's determinism contract
+// (byte-identical output for any worker count).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "runner/json.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+
+namespace ncdn::runner {
+namespace {
+
+TEST(json, dump_and_parse_roundtrip) {
+  json::object inner;
+  json::put(inner, "rounds", std::uint64_t{42});
+  json::put(inner, "ratio", 1.5);
+  json::object root;
+  json::put(root, "name", "a/b \"quoted\"\n\ttab");
+  json::put(root, "ok", true);
+  json::put(root, "missing", nullptr);
+  json::put(root, "cells", json::value{json::array{
+                               json::value{inner}, json::value{std::uint64_t{7}}}});
+
+  const std::string text = json::value{root}.dump();
+  const json::parse_result parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  const json::value* name = parsed.root.find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->as_string(), "a/b \"quoted\"\n\ttab");
+  EXPECT_TRUE(parsed.root.find("ok")->as_bool());
+  EXPECT_TRUE(parsed.root.find("missing")->is_null());
+  const json::value* cells = parsed.root.find("cells");
+  ASSERT_TRUE(cells->is_array());
+  ASSERT_EQ(cells->items().size(), 2u);
+  EXPECT_EQ(cells->items()[0].find("rounds")->as_number(), 42.0);
+  EXPECT_EQ(cells->items()[0].find("ratio")->as_number(), 1.5);
+
+  // Re-dumping the parsed tree reproduces the original bytes (stable
+  // number formatting + insertion-ordered objects).
+  EXPECT_EQ(parsed.root.dump(), text);
+}
+
+TEST(json, non_finite_numbers_degrade_to_null) {
+  // JSON has no Inf/NaN; the emitter must not produce unparseable output.
+  json::object o;
+  json::put(o, "inf", std::numeric_limits<double>::infinity());
+  json::put(o, "ninf", -std::numeric_limits<double>::infinity());
+  json::put(o, "nan", std::numeric_limits<double>::quiet_NaN());
+  const std::string text = json::value{o}.dump();
+  EXPECT_EQ(text, "{\"inf\":null,\"ninf\":null,\"nan\":null}");
+  EXPECT_TRUE(json::parse(text).ok);
+}
+
+TEST(json, rejects_malformed_documents) {
+  EXPECT_FALSE(json::parse("{\"a\":").ok);
+  EXPECT_FALSE(json::parse("[1,2,]").ok);
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing").ok);
+  EXPECT_FALSE(json::parse("\"unterminated").ok);
+  // Strict number grammar: no leading '+', bare '.', or leading zeros.
+  EXPECT_FALSE(json::parse("+5").ok);
+  EXPECT_FALSE(json::parse(".5").ok);
+  EXPECT_FALSE(json::parse("01").ok);
+  EXPECT_FALSE(json::parse("5.").ok);
+  EXPECT_FALSE(json::parse("[1,+2]").ok);
+  EXPECT_FALSE(json::parse("1e").ok);
+  EXPECT_TRUE(json::parse("-0.5e+3").ok);
+  EXPECT_TRUE(json::parse("  [1, 2, 3]  ").ok);
+}
+
+TEST(scenario_registry, meets_sweep_coverage_floors) {
+  const std::vector<scenario>& all = scenario_registry();
+  EXPECT_GE(all.size(), 24u);
+  // The acceptance gate: >= 6 protocols x >= 4 adversaries.
+  EXPECT_GE(distinct_algorithms(all), 6u);
+  EXPECT_GE(distinct_adversaries(all), 4u);
+
+  // Names are unique and resolvable.
+  for (const scenario& s : all) {
+    const scenario* found = find_scenario(s.name);
+    ASSERT_NE(found, nullptr) << s.name;
+    EXPECT_EQ(found->alg, s.alg) << s.name;
+  }
+
+  // The paper's protocol families are all present.
+  for (const char* name :
+       {"token-forwarding/static-path/n16", "greedy-forward/permuted-path/n16",
+        "priority-forward/flooding/sorted-path/n16",
+        "naive-indexed/static-star/n16", "rlnc-direct/random-connected/n16",
+        "tstable/chunked/random-geometric/n16"}) {
+    EXPECT_NE(find_scenario(name), nullptr) << name;
+  }
+}
+
+TEST(scenario_registry, substring_selection) {
+  EXPECT_TRUE(scenarios_matching("no-such-scenario-xyz").empty());
+  const auto greedy = scenarios_matching("greedy-forward/");
+  ASSERT_FALSE(greedy.empty());
+  for (const scenario& s : greedy) EXPECT_EQ(s.alg, algorithm::greedy_forward);
+  // Empty pattern selects the whole registry.
+  EXPECT_EQ(scenarios_matching("").size(), scenario_registry().size());
+}
+
+TEST(sweep, cell_seeds_are_deterministic_and_spread) {
+  EXPECT_EQ(cell_seed(1, "a/b/n16", 0), cell_seed(1, "a/b/n16", 0));
+  EXPECT_NE(cell_seed(1, "a/b/n16", 0), cell_seed(1, "a/b/n16", 1));
+  EXPECT_NE(cell_seed(1, "a/b/n16", 0), cell_seed(2, "a/b/n16", 0));
+  EXPECT_NE(cell_seed(1, "a/b/n16", 0), cell_seed(1, "a/b/n32", 0));
+  EXPECT_NE(cell_seed(1, "a/b/n16", 0), 0u);
+}
+
+std::vector<scenario> cheap_scenarios() {
+  std::vector<scenario> out;
+  for (const char* name :
+       {"token-forwarding/static-path/n16", "greedy-forward/permuted-path/n16",
+        "rlnc-direct/random-connected/n16", "naive-indexed/static-star/n16"}) {
+    const scenario* s = find_scenario(name);
+    if (s != nullptr) out.push_back(*s);
+  }
+  return out;
+}
+
+TEST(sweep, parallel_sweep_emits_valid_complete_json) {
+  sweep_options opts;
+  opts.trials = 2;
+  opts.base_seed = 11;
+  opts.threads = 2;  // the acceptance gate: a real worker pool
+  const std::vector<scenario> scens = cheap_scenarios();
+  ASSERT_EQ(scens.size(), 4u);
+
+  const sweep_result result = run_sweep(scens, opts);
+  ASSERT_EQ(result.cells.size(), scens.size() * opts.trials);
+
+  const std::string text = sweep_to_json(result).dump();
+  const json::parse_result parsed = json::parse(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  const json::value* cells = parsed.root.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_TRUE(cells->is_array());
+  ASSERT_EQ(cells->items().size(), 8u);
+  for (const json::value& cell : cells->items()) {
+    EXPECT_TRUE(cell.find("complete")->as_bool())
+        << cell.find("scenario")->as_string();
+    EXPECT_GT(cell.find("rounds")->as_number(), 0.0);
+    // Seeds travel as digit strings so 64-bit values stay exact.
+    const json::value* seed = cell.find("seed");
+    ASSERT_TRUE(seed->is_string());
+    EXPECT_FALSE(seed->as_string().empty());
+    for (char ch : seed->as_string()) EXPECT_TRUE(ch >= '0' && ch <= '9');
+    EXPECT_EQ(cell.find("n")->as_number(), 16.0);
+  }
+  const json::value* summaries = parsed.root.find("scenarios");
+  ASSERT_NE(summaries, nullptr);
+  ASSERT_EQ(summaries->items().size(), 4u);
+  for (const json::value& row : summaries->items()) {
+    EXPECT_TRUE(row.find("all_complete")->as_bool());
+    const json::value* rounds = row.find("rounds");
+    ASSERT_NE(rounds, nullptr);
+    EXPECT_LE(rounds->find("min")->as_number(), rounds->find("max")->as_number());
+  }
+}
+
+TEST(sweep, output_is_byte_identical_across_runs_and_worker_counts) {
+  sweep_options opts;
+  opts.trials = 2;
+  opts.base_seed = 5;
+  const std::vector<scenario> scens = cheap_scenarios();
+
+  std::vector<std::string> dumps;
+  for (std::size_t threads : {1u, 2u, 4u, 2u}) {
+    opts.threads = threads;
+    dumps.push_back(sweep_to_json(run_sweep(scens, opts)).dump());
+  }
+  for (std::size_t i = 1; i < dumps.size(); ++i) {
+    EXPECT_EQ(dumps[0], dumps[i]) << "run " << i << " diverged";
+  }
+
+  // A different base seed must actually change the cells (comparing the
+  // cells subtree, not the whole document — config echoes base_seed, which
+  // would make a whole-document comparison pass vacuously).
+  opts.base_seed = 6;
+  opts.threads = 2;
+  const std::string other = sweep_to_json(run_sweep(scens, opts)).dump();
+  const json::parse_result pa = json::parse(dumps[0]);
+  const json::parse_result pb = json::parse(other);
+  ASSERT_TRUE(pa.ok && pb.ok);
+  EXPECT_NE(pa.root.find("cells")->dump(), pb.root.find("cells")->dump());
+}
+
+}  // namespace
+}  // namespace ncdn::runner

@@ -1,0 +1,229 @@
+// ncdn-run — scenario sweep CLI.
+//
+//   ncdn-run list [PATTERN]          list registry scenarios (name match)
+//   ncdn-run run NAME [--seed S]     one scenario, one seed, human summary
+//   ncdn-run sweep [options]         parallel sweep, JSON results
+//     --match PATTERN   substring filter over scenario names (repeatable;
+//                       a scenario is swept if any pattern matches)
+//     --seeds N         trials per scenario            (default 3)
+//     --base-seed S     root seed                      (default 1)
+//     --threads N       worker threads; 0 = hardware   (default 0)
+//     --out PATH        write JSON to PATH             (default stdout)
+//     --pretty          indent the JSON
+//
+// Exit status: 0 on success (even if some cells did not reach completion —
+// that is a result, not an error), 2 on usage errors.
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace {
+
+using namespace ncdn;
+using namespace ncdn::runner;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list [PATTERN]\n"
+               "       %s run NAME [--seed S]\n"
+               "       %s sweep [--match PATTERN]... [--seeds N] "
+               "[--base-seed S] [--threads N] [--out PATH] [--pretty]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  // Digits only: strtoull would otherwise accept "" and wrap "-1" around.
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, nullptr, 10);
+  if (errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+int cmd_list(const std::string& pattern) {
+  const std::vector<scenario> scens = scenarios_matching(pattern);
+  for (const scenario& s : scens) {
+    std::printf("%-48s n=%-4zu k=%-4zu d=%-3zu b=%-3zu T=%llu\n",
+                s.name.c_str(), s.prob.n, s.prob.k, s.prob.d, s.prob.b,
+                static_cast<unsigned long long>(s.prob.t_stability));
+  }
+  std::fprintf(stderr, "%zu scenario(s)\n", scens.size());
+  return 0;
+}
+
+int cmd_run(const std::string& name, std::uint64_t seed) {
+  const scenario* s = find_scenario(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "ncdn-run: unknown scenario '%s' (try `list`)\n",
+                 name.c_str());
+    return 2;
+  }
+  run_options ro;
+  ro.alg = s->alg;
+  ro.topo = s->topo;
+  ro.seed = seed;
+  const run_report rep = run_dissemination(s->prob, ro);
+  std::printf("scenario           %s\n", s->name.c_str());
+  std::printf("seed               %llu\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("rounds             %llu\n",
+              static_cast<unsigned long long>(rep.rounds));
+  std::printf("completion_round   %llu\n",
+              static_cast<unsigned long long>(rep.completion_round));
+  std::printf("complete           %s\n", rep.complete ? "true" : "false");
+  std::printf("max_message_bits   %zu\n", rep.max_message_bits);
+  std::printf("epochs             %zu\n", rep.epochs);
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  sweep_options opts;
+  std::vector<std::string> patterns;
+  std::string out_path;
+  bool pretty = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ncdn-run: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (arg == "--match") {
+      const char* p = next("--match");
+      if (p == nullptr) return 2;
+      patterns.emplace_back(p);
+    } else if (arg == "--seeds") {
+      const char* p = next("--seeds");
+      if (p == nullptr) return 2;
+      if (!parse_u64(p, v) || v == 0) {
+        std::fprintf(stderr, "ncdn-run: --seeds needs a positive integer, "
+                             "got '%s'\n", p);
+        return 2;
+      }
+      opts.trials = static_cast<std::size_t>(v);
+    } else if (arg == "--base-seed") {
+      const char* p = next("--base-seed");
+      if (p == nullptr) return 2;
+      if (!parse_u64(p, v)) {
+        std::fprintf(stderr, "ncdn-run: --base-seed needs an integer, "
+                             "got '%s'\n", p);
+        return 2;
+      }
+      opts.base_seed = v;
+    } else if (arg == "--threads") {
+      const char* p = next("--threads");
+      if (p == nullptr) return 2;
+      if (!parse_u64(p, v)) {
+        std::fprintf(stderr, "ncdn-run: --threads needs an integer, "
+                             "got '%s'\n", p);
+        return 2;
+      }
+      opts.threads = static_cast<std::size_t>(v);
+    } else if (arg == "--out") {
+      const char* p = next("--out");
+      if (p == nullptr) return 2;
+      out_path = p;
+    } else if (arg == "--pretty") {
+      pretty = true;
+    } else {
+      std::fprintf(stderr, "ncdn-run: unknown sweep option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<scenario> scens;
+  if (patterns.empty()) {
+    scens = scenarios_matching("");
+  } else {
+    for (const scenario& s : scenario_registry()) {
+      for (const std::string& p : patterns) {
+        if (s.name.find(p) != std::string::npos) {
+          scens.push_back(s);
+          break;
+        }
+      }
+    }
+  }
+  if (scens.empty()) {
+    std::fprintf(stderr, "ncdn-run: no scenarios matched\n");
+    return 2;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sweep_result result = run_sweep(std::move(scens), opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  const json::value doc = sweep_to_json(result);
+  const std::string text = pretty ? doc.dump_pretty() : doc.dump() + "\n";
+
+  if (out_path.empty() || out_path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ncdn-run: cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  std::size_t incomplete = 0;
+  for (const cell_result& c : result.cells) {
+    if (!c.report.complete) ++incomplete;
+  }
+  // Timing goes to stderr only; the JSON stays a pure function of the seed.
+  std::fprintf(stderr,
+               "swept %zu scenario(s) x %zu seed(s) = %zu cell(s) on %zu "
+               "thread(s) in %.2fs (%zu incomplete)\n",
+               result.scenarios.size(), result.options.trials,
+               result.cells.size(), result.options.threads, secs, incomplete);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "list") {
+    return cmd_list(argc >= 3 ? argv[2] : "");
+  }
+  if (cmd == "run") {
+    if (argc < 3) return usage(argv[0]);
+    std::uint64_t seed = 1;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        if (!parse_u64(argv[++i], seed)) {
+          std::fprintf(stderr, "ncdn-run: --seed needs an integer, got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+      } else {
+        std::fprintf(stderr, "ncdn-run: unknown run option '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+    return cmd_run(argv[2], seed);
+  }
+  if (cmd == "sweep") {
+    return cmd_sweep(argc - 2, argv + 2);
+  }
+  return usage(argv[0]);
+}
