@@ -20,9 +20,8 @@ int main() {
     for (std::size_t n : {32u, 64u, 128u, 256u}) {
       const std::size_t ns = static_cast<std::size_t>(n * scale);
       problem prob{.n = ns, .k = ns, .d = 16, .b = 16};
-      run_options opts{.alg = algorithm::token_forwarding,
-                       .topo = topology_kind::permuted_path};
-      const double rounds = bench::mean_rounds(prob, opts, trials);
+      const double rounds = bench::mean_rounds(prob, "token-forwarding",
+                                               "permuted-path", trials);
       const double model = static_cast<double>(ns) * ns * 16 / 16;
       t.add_row({text_table::num(ns), text_table::num(rounds),
                  text_table::num(model),
@@ -41,9 +40,8 @@ int main() {
     text_table t({"b", "rounds", "rounds*b (should be flat)"});
     for (std::size_t b : {16u, 32u, 64u, 128u, 256u}) {
       problem prob{.n = 128, .k = 128, .d = 16, .b = b};
-      run_options opts{.alg = algorithm::token_forwarding,
-                       .topo = topology_kind::permuted_path};
-      const double rounds = bench::mean_rounds(prob, opts, trials);
+      const double rounds = bench::mean_rounds(prob, "token-forwarding",
+                                               "permuted-path", trials);
       t.add_row({text_table::num(b), text_table::num(rounds),
                  text_table::num(rounds * static_cast<double>(b))});
       rec.row("rounds_vs_b",
@@ -57,15 +55,14 @@ int main() {
   {
     std::printf("\n(c) the schedule is adversary-independent\n");
     text_table t({"adversary", "rounds"});
-    for (topology_kind topo :
-         {topology_kind::static_path, topology_kind::permuted_path,
-          topology_kind::sorted_path, topology_kind::random_connected}) {
+    for (const char* topo : {"static-path", "permuted-path", "sorted-path",
+                             "random-connected"}) {
       problem prob{.n = 96, .k = 96, .d = 16, .b = 16};
-      run_options opts{.alg = algorithm::token_forwarding, .topo = topo};
-      const double rounds = bench::mean_rounds(prob, opts, trials);
-      t.add_row({to_string(topo), text_table::num(rounds)});
+      const double rounds =
+          bench::mean_rounds(prob, "token-forwarding", topo, trials);
+      t.add_row({topo, text_table::num(rounds)});
       rec.row("adversary_independence",
-              {{"adversary", to_string(topo)}, {"rounds", rounds}});
+              {{"adversary", topo}, {"rounds", rounds}});
     }
     t.print();
   }

@@ -18,12 +18,10 @@ int main() {
     // b = d = 4 ceil(log2 n): the Theta(log n) message-size regime.
     std::size_t b = 4 * bits_for(n);
     problem prob{.n = n, .k = n, .d = b, .b = b};
-    run_options fwd{.alg = algorithm::token_forwarding,
-                    .topo = topology_kind::permuted_path};
-    run_options nc{.alg = algorithm::greedy_forward,
-                   .topo = topology_kind::permuted_path};
-    const double r_fwd = bench::mean_rounds(prob, fwd, trials);
-    const double r_nc = bench::mean_rounds(prob, nc, trials);
+    const double r_fwd = bench::mean_rounds(prob, "token-forwarding",
+                                            "permuted-path", trials);
+    const double r_nc =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
     t.add_row({text_table::num(n), text_table::num(b),
                text_table::num(r_fwd), text_table::num(r_nc),
                text_table::fixed(r_fwd / r_nc, 2) + "x",

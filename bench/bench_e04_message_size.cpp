@@ -17,12 +17,10 @@ int main() {
   std::vector<double> xs, ys;
   for (std::size_t b : {16u, 24u, 32u, 48u, 64u}) {
     problem prob{.n = n, .k = k, .d = d, .b = b};
-    run_options fwd{.alg = algorithm::token_forwarding,
-                    .topo = topology_kind::permuted_path};
-    run_options nc{.alg = algorithm::greedy_forward,
-                   .topo = topology_kind::permuted_path};
-    const double r_fwd = bench::mean_rounds(prob, fwd, trials);
-    const double r_nc = bench::mean_rounds(prob, nc, trials);
+    const double r_fwd = bench::mean_rounds(prob, "token-forwarding",
+                                            "permuted-path", trials);
+    const double r_nc =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
     xs.push_back(static_cast<double>(b));
     ys.push_back(r_nc);
     t.add_row({text_table::num(b), text_table::num(r_fwd),

@@ -17,9 +17,8 @@ int main() {
     problem prob{.n = n, .k = k, .d = d, .b = b,
                  .place = k == n ? placement::one_per_node
                                  : placement::random_spread};
-    run_options opts{.alg = algorithm::greedy_forward,
-                     .topo = topology_kind::permuted_path};
-    const double rounds = bench::mean_rounds(prob, opts, trials);
+    const double rounds =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
     const double model =
         static_cast<double>(n) * k * d / (b * b) + static_cast<double>(n) * b;
     xs.push_back(static_cast<double>(k));
@@ -41,10 +40,9 @@ int main() {
                                  : placement::random_spread};
     const summary s = measure_over_seeds(
         [&](std::uint64_t seed) {
-          run_options opts{.alg = algorithm::greedy_forward,
-                           .topo = topology_kind::permuted_path,
-                           .seed = seed};
-          return static_cast<double>(run_dissemination(prob, opts).epochs);
+          return static_cast<double>(
+              bench::run_cell(prob, "greedy-forward", "permuted-path", seed)
+                  .epochs);
         },
         trials);
     const std::size_t per_epoch = (b / 2) * std::max<std::size_t>(1, b / (2 * d));

@@ -26,13 +26,11 @@ int main() {
   for (round_t T : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
     problem prob{.n = n, .k = k, .d = d, .b = b, .t_stability = T};
 
-    run_options fwd{.alg = algorithm::token_forwarding_pipelined,
-                    .topo = topology_kind::permuted_path};
-    const double r_fwd = bench::mean_completion(prob, fwd, trials);
+    const double r_fwd = bench::mean_completion(
+        prob, "token-forwarding-pipelined", "permuted-path", trials);
 
-    run_options nc{.alg = algorithm::tstable_auto,
-                   .topo = topology_kind::permuted_path};
-    const double r_nc = bench::mean_rounds(prob, nc, trials);
+    const double r_nc =
+        bench::mean_rounds(prob, "tstable/auto", "permuted-path", trials);
     const patch_plan plan_probe = plan_patch_broadcast(n, b, T);
     const char* engine = plan_probe.feasible && plan_probe.item_bits >= d
                              ? "patch"

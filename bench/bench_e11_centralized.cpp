@@ -17,12 +17,10 @@ int main() {
   std::vector<double> xs, ys;
   for (std::size_t n : {32u, 64u, 128u, 256u}) {
     problem prob{.n = n, .k = n, .d = 16, .b = 64};
-    run_options cen{.alg = algorithm::centralized_rlnc,
-                    .topo = topology_kind::permuted_path};
-    run_options dis{.alg = algorithm::greedy_forward,
-                    .topo = topology_kind::permuted_path};
-    const double r_cen = bench::mean_rounds(prob, cen, trials);
-    const double r_dis = bench::mean_rounds(prob, dis, trials);
+    const double r_cen = bench::mean_rounds(prob, "centralized-rlnc",
+                                            "permuted-path", trials);
+    const double r_dis =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
     xs.push_back(static_cast<double>(n));
     ys.push_back(r_cen);
     t.add_row({text_table::num(n), text_table::num(r_cen),

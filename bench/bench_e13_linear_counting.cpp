@@ -21,12 +21,10 @@ int main() {
     const std::size_t b = static_cast<std::size_t>(
         std::ceil(std::sqrt(static_cast<double>(n) * d)));
     problem prob{.n = n, .k = n, .d = d, .b = b};
-    run_options nc{.alg = algorithm::greedy_forward,
-                   .topo = topology_kind::permuted_path};
-    run_options fwd{.alg = algorithm::token_forwarding,
-                    .topo = topology_kind::permuted_path};
-    const double r_nc = bench::mean_rounds(prob, nc, trials);
-    const double r_fwd = bench::mean_rounds(prob, fwd, trials);
+    const double r_nc =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
+    const double r_fwd = bench::mean_rounds(prob, "token-forwarding",
+                                            "permuted-path", trials);
     t.add_row({text_table::num(n), text_table::num(d), text_table::num(b),
                text_table::num(r_nc),
                text_table::fixed(r_nc / static_cast<double>(n), 2),

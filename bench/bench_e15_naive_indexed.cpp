@@ -19,15 +19,12 @@ int main() {
                       std::pair{128u, 64u}}) {
     const std::size_t d = bits_for(n) + 1;
     problem prob{.n = n, .k = n, .d = d, .b = b};
-    const double r_fwd = bench::mean_rounds(
-        prob, {.alg = algorithm::token_forwarding,
-               .topo = topology_kind::permuted_path}, trials);
-    const double r_naive = bench::mean_rounds(
-        prob, {.alg = algorithm::naive_indexed,
-               .topo = topology_kind::permuted_path}, trials);
-    const double r_greedy = bench::mean_rounds(
-        prob, {.alg = algorithm::greedy_forward,
-               .topo = topology_kind::permuted_path}, trials);
+    const double r_fwd = bench::mean_rounds(prob, "token-forwarding",
+                                            "permuted-path", trials);
+    const double r_naive =
+        bench::mean_rounds(prob, "naive-indexed", "permuted-path", trials);
+    const double r_greedy =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
     t.add_row({text_table::num(std::size_t{n}), text_table::num(std::size_t{b}),
                text_table::num(r_fwd), text_table::num(r_naive),
                text_table::num(r_greedy)});
@@ -42,15 +39,12 @@ int main() {
                          std::tuple{128u, 64u, 64u},
                          std::tuple{128u, 128u, 128u}}) {
     problem prob{.n = n, .k = n, .d = d, .b = b};
-    const double r_fwd = bench::mean_rounds(
-        prob, {.alg = algorithm::token_forwarding,
-               .topo = topology_kind::permuted_path}, trials);
-    const double r_naive = bench::mean_rounds(
-        prob, {.alg = algorithm::naive_indexed,
-               .topo = topology_kind::permuted_path}, trials);
-    const double r_greedy = bench::mean_rounds(
-        prob, {.alg = algorithm::greedy_forward,
-               .topo = topology_kind::permuted_path}, trials);
+    const double r_fwd = bench::mean_rounds(prob, "token-forwarding",
+                                            "permuted-path", trials);
+    const double r_naive =
+        bench::mean_rounds(prob, "naive-indexed", "permuted-path", trials);
+    const double r_greedy =
+        bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
     t2.add_row({text_table::num(std::size_t{n}), text_table::num(std::size_t{d}),
                 text_table::num(std::size_t{b}), text_table::num(r_fwd),
                 text_table::num(r_naive), text_table::num(r_greedy)});

@@ -12,8 +12,8 @@
 #include <utility>
 #include <vector>
 
-#include "core/dissemination.hpp"
 #include "core/experiment.hpp"
+#include "core/session.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "runner/json.hpp"
@@ -146,31 +146,37 @@ class json_recorder {
   std::vector<section_data> sections_;
 };
 
-/// Mean rounds for one (problem, options) across trials (seeds 1..trials).
-inline double mean_rounds(const problem& prob, const run_options& base,
-                          std::size_t trials) {
+/// One session run through the registry-driven API; asserts completion.
+inline run_report run_cell(const problem& prob, const std::string& alg,
+                           const std::string& adv, std::uint64_t seed,
+                           const param_map& params = {}) {
+  session s(prob, protocol_spec{alg, params}, adversary_spec{adv, params},
+            seed);
+  run_report rep = s.run_to_completion();
+  NCDN_ASSERT(rep.complete);
+  return rep;
+}
+
+/// Mean rounds for one (problem, spec names) across trials (seeds
+/// 1..trials).  Protocols and adversaries are selected by registry name —
+/// the same strings `ncdn-run list-algorithms` prints.
+inline double mean_rounds(const problem& prob, const std::string& alg,
+                          const std::string& adv, std::size_t trials) {
   const summary s = measure_over_seeds(
       [&](std::uint64_t seed) {
-        run_options opts = base;
-        opts.seed = seed;
-        const run_report rep = run_dissemination(prob, opts);
-        NCDN_ASSERT(rep.complete);
-        return static_cast<double>(rep.rounds);
+        return static_cast<double>(run_cell(prob, alg, adv, seed).rounds);
       },
       trials);
   return s.mean;
 }
 
 /// Like mean_rounds but measuring the observer completion round.
-inline double mean_completion(const problem& prob, const run_options& base,
-                              std::size_t trials) {
+inline double mean_completion(const problem& prob, const std::string& alg,
+                              const std::string& adv, std::size_t trials) {
   const summary s = measure_over_seeds(
       [&](std::uint64_t seed) {
-        run_options opts = base;
-        opts.seed = seed;
-        const run_report rep = run_dissemination(prob, opts);
-        NCDN_ASSERT(rep.complete);
-        return static_cast<double>(rep.completion_round);
+        return static_cast<double>(
+            run_cell(prob, alg, adv, seed).completion_round);
       },
       trials);
   return s.mean;

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/dissemination.hpp"
+#include "core/session.hpp"
 #include "core/table.hpp"
 
 int main(int argc, char** argv) {
@@ -31,19 +31,13 @@ int main(int argc, char** argv) {
 
   ncdn::text_table table({"adversary", "token-forwarding", "greedy-forward",
                           "priority-forward", "best coding advantage"});
-  for (const ncdn::topology_kind topo :
-       {ncdn::topology_kind::static_path, ncdn::topology_kind::permuted_path,
-        ncdn::topology_kind::sorted_path}) {
+  for (const char* topo : {"static-path", "permuted-path", "sorted-path"}) {
     double rounds[3] = {0, 0, 0};
-    const ncdn::algorithm algs[3] = {
-        ncdn::algorithm::token_forwarding, ncdn::algorithm::greedy_forward,
-        ncdn::algorithm::priority_forward_charged};
+    const char* algs[3] = {"token-forwarding", "greedy-forward",
+                           "priority-forward/charged"};
     for (int which = 0; which < 3; ++which) {
-      ncdn::run_options opts;
-      opts.alg = algs[which];
-      opts.topo = topo;
-      opts.seed = seed;
-      const ncdn::run_report rep = ncdn::run_dissemination(prob, opts);
+      ncdn::session s(prob, {algs[which], {}}, {topo, {}}, seed);
+      const ncdn::run_report& rep = s.run_to_completion();
       if (!rep.complete) {
         std::printf("dissemination failed unexpectedly\n");
         return 1;
@@ -51,7 +45,7 @@ int main(int argc, char** argv) {
       rounds[which] = static_cast<double>(rep.rounds);
     }
     const double best_nc = std::min(rounds[1], rounds[2]);
-    table.add_row({ncdn::to_string(topo), ncdn::text_table::num(rounds[0]),
+    table.add_row({topo, ncdn::text_table::num(rounds[0]),
                    ncdn::text_table::num(rounds[1]),
                    ncdn::text_table::num(rounds[2]),
                    ncdn::text_table::fixed(rounds[0] / best_nc, 2) + "x"});

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/dissemination.hpp"
+#include "core/session.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
@@ -31,31 +31,25 @@ int main(int argc, char** argv) {
               prob.n, prob.k, prob.d, prob.b);
 
   // Fully mobile mesh (topology changes every round).
-  for (const ncdn::algorithm alg : {ncdn::algorithm::token_forwarding,
-                                    ncdn::algorithm::greedy_forward}) {
-    ncdn::run_options opts;
-    opts.alg = alg;
-    opts.topo = ncdn::topology_kind::random_geometric;
-    opts.seed = seed;
-    const ncdn::run_report rep = ncdn::run_dissemination(prob, opts);
+  for (const char* alg : {"token-forwarding", "greedy-forward"}) {
+    ncdn::session s(prob, {alg, {}}, {"random-geometric", {}}, seed);
+    const ncdn::run_report& rep = s.run_to_completion();
     std::printf("  mobility=every-round  %-18s %8llu rounds  complete=%s\n",
-                ncdn::to_string(alg),
-                static_cast<unsigned long long>(rep.rounds),
+                alg, static_cast<unsigned long long>(rep.rounds),
                 rep.complete ? "yes" : "NO");
     if (!rep.complete) return 1;
   }
 
-  // Slower mesh: links persist for T rounds.
-  for (const ncdn::round_t t : {4u, 16u}) {
-    ncdn::problem stable = prob;
-    stable.t_stability = t;
-    ncdn::run_options opts;
-    opts.alg = ncdn::algorithm::tstable_chunked;
-    opts.topo = ncdn::topology_kind::random_geometric;
-    opts.seed = seed;
-    const ncdn::run_report rep = ncdn::run_dissemination(stable, opts);
-    std::printf("  mobility=every-%-3llu   %-18s %8llu rounds  complete=%s\n",
-                static_cast<unsigned long long>(t), "tstable/chunked",
+  // Slower mesh: links persist for T rounds — reshaped entirely through
+  // the spec param channel (what `ncdn-run --param t_stability=...` does).
+  for (const char* t : {"4", "16"}) {
+    ncdn::param_map params;
+    params["t_stability"] = t;
+    ncdn::session s(prob, {"tstable/chunked", params},
+                    {"random-geometric", params}, seed);
+    const ncdn::run_report& rep = s.run_to_completion();
+    std::printf("  mobility=every-%-3s   %-18s %8llu rounds  complete=%s\n",
+                t, "tstable/chunked",
                 static_cast<unsigned long long>(rep.rounds),
                 rep.complete ? "yes" : "NO");
     if (!rep.complete) return 1;

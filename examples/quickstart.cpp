@@ -2,11 +2,15 @@
 // network with random linear network coding, and compare against the
 // token-forwarding baseline — the paper's headline contrast in ~60 lines.
 //
+// Uses the registry-driven session API: protocols and adversaries are
+// picked by their registered names (see `ncdn-run list-algorithms`), and a
+// per-round observer watches knowledge spread.
+//
 //   $ ./quickstart [n] [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/dissemination.hpp"
+#include "core/session.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
@@ -27,19 +31,24 @@ int main(int argc, char** argv) {
   std::printf("adversary: fresh randomly-permuted path every round "
               "(diameter n-1, always connected)\n\n");
 
-  for (const ncdn::algorithm alg :
-       {ncdn::algorithm::token_forwarding, ncdn::algorithm::naive_indexed,
-        ncdn::algorithm::greedy_forward,
-        ncdn::algorithm::centralized_rlnc}) {
-    ncdn::run_options opts;
-    opts.alg = alg;
-    opts.topo = ncdn::topology_kind::permuted_path;
-    opts.seed = seed;
-    const ncdn::run_report rep = ncdn::run_dissemination(prob, opts);
-    std::printf("  %-28s %8llu rounds   complete=%s   max message=%zu bits\n",
-                ncdn::to_string(alg),
-                static_cast<unsigned long long>(rep.rounds),
+  for (const char* alg : {"token-forwarding", "naive-indexed",
+                          "greedy-forward", "centralized-rlnc"}) {
+    ncdn::session s(prob, {alg, {}}, {"permuted-path", {}}, seed);
+
+    // Observer: watch the slowest node's knowledge cross the halfway mark.
+    ncdn::round_t half_round = 0;
+    s.set_observer([&](const ncdn::round_metrics& m) {
+      if (half_round == 0 && m.min_knowledge >= prob.k / 2) {
+        half_round = m.round;
+      }
+    });
+
+    const ncdn::run_report& rep = s.run_to_completion();
+    std::printf("  %-28s %8llu rounds   complete=%s   half-spread@%llu   "
+                "max message=%zu bits\n",
+                alg, static_cast<unsigned long long>(rep.rounds),
                 rep.complete ? "yes" : "NO",
+                static_cast<unsigned long long>(half_round),
                 rep.max_message_bits);
     if (!rep.complete) return 1;
   }

@@ -1,174 +1,54 @@
+// Deprecated enum facade, kept as a thin shim over the registries and the
+// steppable session.  The old hand-maintained to_string tables and the
+// monolithic dispatch switch are gone: names come from the registry entry
+// (one source of truth), and a run is session(...).run_to_completion().
 #include "core/dissemination.hpp"
 
-#include <cmath>
+#include <map>
 
-#include "protocols/centralized.hpp"
-#include "protocols/flooding.hpp"
-#include "protocols/greedy_forward.hpp"
-#include "protocols/naive_indexed.hpp"
-#include "protocols/priority_forward.hpp"
-#include "protocols/rlnc_broadcast.hpp"
-#include "protocols/tstable_dissemination.hpp"
+#include "core/session.hpp"
 
 namespace ncdn {
 
+// The legacy-tagged entries are all built-ins, registered in one shot by
+// instance(), so snapshotting the names at first call is complete.  The
+// snapshot (std::map nodes are address-stable) also keeps the returned
+// pointers valid even if user registrations later grow the registry's
+// entry vector.
 const char* to_string(algorithm a) {
-  switch (a) {
-    case algorithm::token_forwarding: return "token-forwarding";
-    case algorithm::token_forwarding_pipelined: return "token-forwarding-pipelined";
-    case algorithm::naive_indexed: return "naive-indexed";
-    case algorithm::greedy_forward: return "greedy-forward";
-    case algorithm::priority_forward_flooding: return "priority-forward/flooding";
-    case algorithm::priority_forward_charged: return "priority-forward/charged";
-    case algorithm::tstable_auto: return "tstable/auto";
-    case algorithm::tstable_patch: return "tstable/patch";
-    case algorithm::tstable_chunked: return "tstable/chunked";
-    case algorithm::tstable_patch_gather: return "tstable/patch-gather";
-    case algorithm::centralized_rlnc: return "centralized-rlnc";
-    case algorithm::rlnc_direct: return "rlnc-direct";
-  }
-  return "?";
+  static const std::map<algorithm, std::string> names = [] {
+    std::map<algorithm, std::string> m;
+    for (const protocol_entry& e : protocol_registry::instance().entries()) {
+      if (e.legacy.has_value()) m[*e.legacy] = e.name;
+    }
+    return m;
+  }();
+  const auto it = names.find(a);
+  return it == names.end() ? "?" : it->second.c_str();
 }
 
 const char* to_string(topology_kind t) {
-  switch (t) {
-    case topology_kind::static_path: return "static-path";
-    case topology_kind::static_star: return "static-star";
-    case topology_kind::permuted_path: return "permuted-path";
-    case topology_kind::random_connected: return "random-connected";
-    case topology_kind::random_geometric: return "random-geometric";
-    case topology_kind::sorted_path: return "sorted-path";
-  }
-  return "?";
+  static const std::map<topology_kind, std::string> names = [] {
+    std::map<topology_kind, std::string> m;
+    for (const adversary_entry& e : adversary_registry::instance().entries()) {
+      if (e.legacy.has_value()) m[*e.legacy] = e.name;
+    }
+    return m;
+  }();
+  const auto it = names.find(t);
+  return it == names.end() ? "?" : it->second.c_str();
 }
 
 std::unique_ptr<adversary> make_adversary(topology_kind topo,
                                           const problem& prob,
                                           std::uint64_t seed) {
-  std::unique_ptr<adversary> inner;
-  switch (topo) {
-    case topology_kind::static_path:
-      inner = make_static_path(prob.n);
-      break;
-    case topology_kind::static_star:
-      inner = make_static_star(prob.n);
-      break;
-    case topology_kind::permuted_path:
-      inner = make_permuted_path(prob.n, seed);
-      break;
-    case topology_kind::random_connected:
-      inner = make_random_connected(prob.n, prob.n / 2, seed);
-      break;
-    case topology_kind::random_geometric:
-      inner = make_random_geometric(
-          prob.n, 1.8 / std::sqrt(static_cast<double>(prob.n)), seed);
-      break;
-    case topology_kind::sorted_path:
-      inner = make_sorted_path();
-      break;
-  }
-  if (prob.t_stability > 1) {
-    inner = make_t_stable(std::move(inner), prob.t_stability);
-  }
-  return inner;
+  return build_adversary(prob, adversary_spec{to_string(topo), {}}, seed);
 }
 
 run_report run_dissemination(const problem& prob, const run_options& opts) {
-  NCDN_EXPECTS(prob.n >= 2 && prob.k >= 1 && prob.d >= 1 && prob.b >= prob.d);
-
-  std::uint64_t seed_state = opts.seed;
-  rng dist_rng(splitmix64(seed_state));
-  const token_distribution dist =
-      make_distribution(prob.n, prob.k, prob.d, prob.place, dist_rng);
-  auto adv = make_adversary(opts.topo, prob, opts.seed * 7919 + 11);
-  network net(prob.n, prob.b, *adv, opts.seed * 104729 + 13);
-  token_state st(dist);
-
-  run_report report;
-  report.prob = prob;
-  report.opts = opts;
-
-  switch (opts.alg) {
-    case algorithm::token_forwarding:
-    case algorithm::token_forwarding_pipelined: {
-      flooding_config cfg;
-      cfg.b_bits = prob.b;
-      cfg.pipelined = opts.alg == algorithm::token_forwarding_pipelined;
-      static_cast<protocol_result&>(report) = run_flooding(net, st, cfg);
-      break;
-    }
-    case algorithm::naive_indexed: {
-      naive_indexed_config cfg;
-      cfg.b_bits = prob.b;
-      static_cast<protocol_result&>(report) = run_naive_indexed(net, st, cfg);
-      break;
-    }
-    case algorithm::greedy_forward: {
-      greedy_forward_config cfg;
-      cfg.b_bits = prob.b;
-      static_cast<protocol_result&>(report) = run_greedy_forward(net, st, cfg);
-      break;
-    }
-    case algorithm::priority_forward_flooding:
-    case algorithm::priority_forward_charged: {
-      priority_forward_config cfg;
-      cfg.b_bits = prob.b;
-      cfg.indexing = opts.alg == algorithm::priority_forward_flooding
-                         ? indexing_mode::flooding
-                         : indexing_mode::charged;
-      static_cast<protocol_result&>(report) =
-          run_priority_forward(net, st, cfg);
-      break;
-    }
-    case algorithm::tstable_auto:
-    case algorithm::tstable_patch:
-    case algorithm::tstable_chunked:
-    case algorithm::tstable_patch_gather: {
-      tstable_config cfg;
-      cfg.b_bits = prob.b;
-      cfg.t_stability = prob.t_stability;
-      cfg.engine = opts.alg == algorithm::tstable_auto
-                       ? tstable_engine::auto_select
-                   : opts.alg == algorithm::tstable_patch
-                       ? tstable_engine::patch
-                   : opts.alg == algorithm::tstable_patch_gather
-                       ? tstable_engine::patch_gather
-                       : tstable_engine::chunked;
-      static_cast<protocol_result&>(report) =
-          run_tstable_dissemination(net, st, cfg);
-      break;
-    }
-    case algorithm::centralized_rlnc: {
-      centralized_config cfg;
-      cfg.b_bits = prob.b;
-      static_cast<protocol_result&>(report) =
-          run_centralized_rlnc(net, st, cfg);
-      break;
-    }
-    case algorithm::rlnc_direct: {
-      // Lemma 5.3 run standalone: global indexing is granted (indices in
-      // the sorted distribution), every node seeds its initial tokens, and
-      // everyone broadcasts random GF(2) combinations until all decoders
-      // are full rank.  Messages cost k + d bits, so b must be at least
-      // (k + d) / 2 to fit the network's O(b) budget.
-      NCDN_EXPECTS(2 * prob.b >= dist.k() + prob.d);
-      rlnc_session session(prob.n, dist.k(), prob.d);
-      for (node_id u = 0; u < prob.n; ++u) {
-        for (std::size_t t : dist.held_by_node[u]) {
-          session.seed(u, t, dist.tokens[t].payload);
-        }
-      }
-      // Whp bound is O(n + k); the cap only guards against the 2^-n tail.
-      const round_t cap = static_cast<round_t>(16 * (prob.n + dist.k()) + 64);
-      const round_t used = session.run(net, cap, /*stop_early=*/true);
-      report.rounds = used;
-      report.complete = session.all_complete();
-      report.completion_round = report.complete ? used : 0;
-      report.max_message_bits = net.max_observed_message_bits();
-      break;
-    }
-  }
-  return report;
+  session s(prob, protocol_spec{to_string(opts.alg), {}},
+            adversary_spec{to_string(opts.topo), {}}, opts.seed);
+  return s.run_to_completion();
 }
 
 }  // namespace ncdn

@@ -7,6 +7,11 @@
 //              .topo = ncdn::topology_kind::permuted_path,
 //              .seed = 1});
 //
+// DEPRECATED ENUM FACADE: the enums below remain as thin shims over the
+// string-keyed registries (core/registry.hpp) and the steppable session
+// (core/session.hpp), which are the extensible entry points — new protocols
+// and adversaries register by name and need no enum.  `run_dissemination`
+// is `session(...).run_to_completion()`; `to_string` is a registry lookup.
 // Everything the facade does can also be composed manually from the
 // protocol headers (see examples/).
 #pragma once
@@ -14,11 +19,14 @@
 #include <memory>
 #include <string>
 
+#include "core/metrics.hpp"
 #include "dynnet/adversary.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
 
+/// Deprecated: prefer the registry name (see `list_protocol_names()`);
+/// every enumerator is registered under the name `to_string` returns.
 enum class algorithm {
   token_forwarding,            // Thm 2.1 baseline (batched min-flood)
   token_forwarding_pipelined,  // streaming variant for T-stable baselines
@@ -35,6 +43,7 @@ enum class algorithm {
                                // (global indexing granted; b >= (k+d)/2)
 };
 
+/// Deprecated: prefer the registry name (see `list_adversary_names()`).
 enum class topology_kind {
   static_path,
   static_star,
@@ -44,6 +53,8 @@ enum class topology_kind {
   sorted_path,        // adaptive: path sorted by current knowledge
 };
 
+/// Registry-backed names; a registered entry is the single source of truth,
+/// so an entry can no longer ship without its string.
 const char* to_string(algorithm a);
 const char* to_string(topology_kind t);
 
@@ -54,6 +65,7 @@ struct problem {
   std::size_t b = 0;  // message bits (b >= log2 n)
   round_t t_stability = 1;
   placement place = placement::one_per_node;
+  double slack = 2.0;  // constant hidden in the O(b) message budget (§7)
 };
 
 struct run_options {
@@ -62,13 +74,20 @@ struct run_options {
   std::uint64_t seed = 1;
 };
 
+/// The session's run record: the protocol_result the protocol reported,
+/// the instance it ran on, the registry names that selected it, and the
+/// session-observed per-round aggregates.
 struct run_report : protocol_result {
   problem prob;
-  run_options opts;
+  std::string algorithm_name;
+  std::string adversary_name;
+  std::uint64_t seed = 0;
+  session_metrics metrics;
 };
 
 /// Builds the adversary for a topology kind (T-stability applied on top
-/// when prob.t_stability > 1).
+/// when prob.t_stability > 1).  Deprecated shim over the adversary
+/// registry.
 std::unique_ptr<adversary> make_adversary(topology_kind topo,
                                           const problem& prob,
                                           std::uint64_t seed);

@@ -1,0 +1,59 @@
+// Per-round and whole-run measurement records for the steppable session.
+//
+// A `round_metrics` snapshot is handed to the session observer after every
+// communication round (including silent/waiting rounds): structured
+// progress — per-node knowledge counts (token counts for forwarding
+// protocols, decoder rank for coding protocols), the message bits the round
+// actually used, and the consideration-set bookkeeping of §7.  The session
+// folds the stream into a `session_metrics` aggregate, which subsumes the
+// observer-measured completion round the protocols used to track by hand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dynnet/graph.hpp"
+
+namespace ncdn {
+
+/// Snapshot of one communication round, taken after delivery.
+struct round_metrics {
+  round_t round = 0;      // 1-based round index within the session
+  bool silent = false;    // protocol-internal waiting round (no messages)
+  std::size_t messages = 0;          // nodes that broadcast this round
+  std::size_t message_bits = 0;      // total bits put on the air this round
+  std::size_t max_message_bits = 0;  // largest single message this round
+
+  // Per-node knowledge after the round: tokens known for forwarding
+  // protocols, received-span rank for coding protocols (the same quantity
+  // the adaptive adversary inspects).  For silent rounds this carries the
+  // last observed state (nothing can change while everyone is quiet).
+  std::vector<std::size_t> knowledge;
+  std::size_t min_knowledge = 0;
+  std::size_t max_knowledge = 0;
+  std::size_t total_knowledge = 0;
+
+  // Tokens out of consideration (§7 retirement), summed over nodes; zero
+  // for protocols that do not use the shared token_state bookkeeping.
+  std::size_t tokens_retired = 0;
+
+  bool all_complete(std::size_t k) const noexcept {
+    return !knowledge.empty() && min_knowledge >= k;
+  }
+};
+
+/// What the session's built-in observer accumulates over a whole run.
+struct session_metrics {
+  round_t rounds = 0;                    // rounds observed
+  round_t rounds_with_traffic = 0;       // rounds with >= 1 message
+  round_t observed_completion_round = 0; // first round the observer saw
+                                         // min knowledge reach k (0 = never)
+  std::size_t total_messages = 0;
+  std::size_t total_message_bits = 0;
+  std::size_t peak_round_bits = 0;       // busiest round, in bits
+  std::size_t final_min_knowledge = 0;
+  std::size_t final_total_knowledge = 0;
+  std::size_t final_tokens_retired = 0;
+};
+
+}  // namespace ncdn

@@ -1,0 +1,480 @@
+#include "core/registry.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "protocols/centralized.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/greedy_forward.hpp"
+#include "protocols/naive_indexed.hpp"
+#include "protocols/priority_forward.hpp"
+#include "protocols/rlnc_broadcast.hpp"
+#include "protocols/tstable_dissemination.hpp"
+
+namespace ncdn {
+
+// --- param_reader -----------------------------------------------------------
+
+const std::string* param_reader::raw(const std::string& key) {
+  const auto it = params_->find(key);
+  if (it == params_->end()) return nullptr;
+  bool seen = false;
+  for (const std::string& c : consumed_) seen = seen || c == key;
+  if (!seen) consumed_.push_back(key);
+  return &it->second;
+}
+
+namespace {
+
+[[noreturn]] void bad_param(const std::string& context, const std::string& key,
+                            const std::string& value, const char* want) {
+  throw std::invalid_argument("ncdn: parameter '" + key + "=" + value +
+                              "' for " + context + " is not a valid " + want);
+}
+
+}  // namespace
+
+std::uint64_t param_reader::u64(const std::string& key,
+                                std::uint64_t fallback) {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  if (v->empty()) bad_param(context_, key, *v, "integer");
+  for (char ch : *v) {
+    if (ch < '0' || ch > '9') bad_param(context_, key, *v, "integer");
+  }
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v->c_str(), nullptr, 10);
+  if (errno == ERANGE) bad_param(context_, key, *v, "integer");
+  return parsed;
+}
+
+std::size_t param_reader::size(const std::string& key, std::size_t fallback) {
+  return static_cast<std::size_t>(u64(key, fallback));
+}
+
+double param_reader::real(const std::string& key, double fallback) {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (v->empty() || end != v->c_str() + v->size() || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    bad_param(context_, key, *v, "number");
+  }
+  return parsed;
+}
+
+bool param_reader::flag(const std::string& key, bool fallback) {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  bad_param(context_, key, *v, "boolean");
+}
+
+std::string param_reader::str(const std::string& key, std::string fallback) {
+  const std::string* v = raw(key);
+  return v == nullptr ? fallback : *v;
+}
+
+std::vector<std::string> param_reader::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : *params_) {
+    bool seen = false;
+    for (const std::string& c : consumed_) seen = seen || c == key;
+    if (!seen) out.push_back(key);
+  }
+  return out;
+}
+
+void param_reader::expect_fully_consumed() const {
+  const std::vector<std::string> left = unconsumed();
+  if (left.empty()) return;
+  std::string msg = "ncdn: unknown parameter(s) for " + context_ + ":";
+  for (const std::string& key : left) msg += " '" + key + "'";
+  throw std::invalid_argument(msg);
+}
+
+// --- problem-level overrides ------------------------------------------------
+
+problem apply_problem_params(problem prob, param_reader& params) {
+  prob.n = params.size("n", prob.n);
+  prob.k = params.size("k", prob.k);
+  prob.d = params.size("d", prob.d);
+  prob.b = params.size("b", prob.b);
+  prob.t_stability = params.u64("t_stability", prob.t_stability);
+  prob.slack = params.real("slack", prob.slack);
+  const std::string place = params.str("placement", "");
+  if (!place.empty()) {
+    if (place == "one-per-node") {
+      prob.place = placement::one_per_node;
+    } else if (place == "single-source") {
+      prob.place = placement::single_source;
+    } else if (place == "random-spread") {
+      prob.place = placement::random_spread;
+    } else if (place == "adversarial-far") {
+      prob.place = placement::adversarial_far;
+    } else {
+      throw std::invalid_argument("ncdn: unknown placement '" + place + "'");
+    }
+  }
+  return prob;
+}
+
+// --- registries -------------------------------------------------------------
+
+void protocol_registry::add(protocol_entry entry) {
+  NCDN_EXPECTS(!entry.name.empty());
+  NCDN_EXPECTS(find(entry.name) == nullptr);  // duplicate registration
+  entries_.push_back(std::move(entry));
+}
+
+const protocol_entry* protocol_registry::find(const std::string& name) const {
+  for (const protocol_entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void adversary_registry::add(adversary_entry entry) {
+  NCDN_EXPECTS(!entry.name.empty());
+  NCDN_EXPECTS(find(entry.name) == nullptr);
+  entries_.push_back(std::move(entry));
+}
+
+const adversary_entry* adversary_registry::find(
+    const std::string& name) const {
+  for (const adversary_entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> list_protocol_names() {
+  std::vector<std::string> out;
+  for (const protocol_entry& e : protocol_registry::instance().entries()) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+std::vector<std::string> list_adversary_names() {
+  std::vector<std::string> out;
+  for (const adversary_entry& e : adversary_registry::instance().entries()) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+// --- built-in protocols -----------------------------------------------------
+
+namespace {
+
+std::unique_ptr<protocol_driver> flooding_factory(const problem& prob,
+                                                  param_reader& params,
+                                                  bool pipelined) {
+  flooding_config cfg;
+  cfg.b_bits = prob.b;
+  cfg.pipelined = pipelined;
+  cfg.phase_factor = params.real("phase_factor", cfg.phase_factor);
+  return make_protocol_driver([cfg](session_env& env) {
+    return run_flooding(env.net, env.state, cfg);
+  });
+}
+
+std::unique_ptr<protocol_driver> priority_factory(const problem& prob,
+                                                  param_reader& params,
+                                                  indexing_mode mode) {
+  priority_forward_config cfg;
+  cfg.b_bits = prob.b;
+  cfg.indexing = mode;
+  cfg.broadcast_factor = params.real("broadcast_factor", cfg.broadcast_factor);
+  cfg.charged_factor = params.real("charged_factor", cfg.charged_factor);
+  cfg.max_iterations = params.size("max_iterations", cfg.max_iterations);
+  return make_protocol_driver([cfg](session_env& env) {
+    return run_priority_forward(env.net, env.state, cfg);
+  });
+}
+
+std::unique_ptr<protocol_driver> tstable_factory(const problem& prob,
+                                                 param_reader& params,
+                                                 tstable_engine engine) {
+  tstable_config cfg;
+  cfg.b_bits = prob.b;
+  cfg.t_stability = prob.t_stability;
+  cfg.engine = engine;
+  cfg.gather_factor = params.real("gather_factor", cfg.gather_factor);
+  cfg.flood_factor = params.real("flood_factor", cfg.flood_factor);
+  cfg.broadcast_cap_factor =
+      params.real("broadcast_cap_factor", cfg.broadcast_cap_factor);
+  cfg.max_epochs = params.size("epoch_cap", cfg.max_epochs);
+  return make_protocol_driver([cfg](session_env& env) {
+    return run_tstable_dissemination(env.net, env.state, cfg);
+  });
+}
+
+void register_builtin_protocols(protocol_registry& reg) {
+  reg.add({"token-forwarding",
+           "Thm 2.1 token-forwarding baseline (batched min-flood)",
+           algorithm::token_forwarding,
+           [](const problem& prob, param_reader& params) {
+             return flooding_factory(prob, params, /*pipelined=*/false);
+           }});
+  reg.add({"token-forwarding-pipelined",
+           "streaming token-forwarding for T-stable baselines",
+           algorithm::token_forwarding_pipelined,
+           [](const problem& prob, param_reader& params) {
+             return flooding_factory(prob, params, /*pipelined=*/true);
+           }});
+  reg.add({"naive-indexed",
+           "Cor 7.1: index by ID-flooding, then RLNC-broadcast",
+           algorithm::naive_indexed,
+           [](const problem& prob, param_reader& params) {
+             naive_indexed_config cfg;
+             cfg.b_bits = prob.b;
+             cfg.broadcast_factor =
+                 params.real("broadcast_factor", cfg.broadcast_factor);
+             cfg.max_iterations =
+                 params.size("max_iterations", cfg.max_iterations);
+             return make_protocol_driver([cfg](session_env& env) {
+               return run_naive_indexed(env.net, env.state, cfg);
+             });
+           }});
+  reg.add({"greedy-forward",
+           "Thm 7.3: gather, coded-broadcast b^2/(4d) tokens, retire",
+           algorithm::greedy_forward,
+           [](const problem& prob, param_reader& params) {
+             greedy_forward_config cfg;
+             cfg.b_bits = prob.b;
+             cfg.gather_factor = params.real("gather_factor", cfg.gather_factor);
+             cfg.flood_factor = params.real("flood_factor", cfg.flood_factor);
+             cfg.broadcast_factor =
+                 params.real("broadcast_factor", cfg.broadcast_factor);
+             cfg.max_epochs = params.size("epoch_cap", cfg.max_epochs);
+             cfg.stop_when_gather_below =
+                 params.size("stop_below", cfg.stop_when_gather_below);
+             return make_protocol_driver([cfg](session_env& env) {
+               return run_greedy_forward(env.net, env.state, cfg);
+             });
+           }});
+  reg.add({"priority-forward/flooding",
+           "Thm 7.5 with explicit min-flood priority indexing",
+           algorithm::priority_forward_flooding,
+           [](const problem& prob, param_reader& params) {
+             return priority_factory(prob, params, indexing_mode::flooding);
+           }});
+  reg.add({"priority-forward/charged",
+           "Thm 7.5 with the charged recursive indexing substitution",
+           algorithm::priority_forward_charged,
+           [](const problem& prob, param_reader& params) {
+             return priority_factory(prob, params, indexing_mode::charged);
+           }});
+  reg.add({"tstable/auto",
+           "Thm 2.4: strongest feasible T-stable engine for (n, b, T, d)",
+           algorithm::tstable_auto,
+           [](const problem& prob, param_reader& params) {
+             return tstable_factory(prob, params, tstable_engine::auto_select);
+           }});
+  reg.add({"tstable/patch",
+           "§8 patch-sharing indexed broadcast (T^2 speedup machinery)",
+           algorithm::tstable_patch,
+           [](const problem& prob, param_reader& params) {
+             return tstable_factory(prob, params, tstable_engine::patch);
+           }});
+  reg.add({"tstable/chunked",
+           "§8 coefficient-amortizing chunked meta-rounds (factor T)",
+           algorithm::tstable_chunked,
+           [](const problem& prob, param_reader& params) {
+             return tstable_factory(prob, params, tstable_engine::chunked);
+           }});
+  reg.add({"tstable/patch-gather",
+           "§8.3 mode B: in-patch pipelined gathering, then patch broadcast",
+           algorithm::tstable_patch_gather,
+           [](const problem& prob, param_reader& params) {
+             return tstable_factory(prob, params, tstable_engine::patch_gather);
+           }});
+  // Not part of the old enum facade: the T-independent control engine,
+  // registered by name only (the registry is the extension point).
+  reg.add({"tstable/plain",
+           "per-round RLNC blocks under a T-stable adversary (control)",
+           std::nullopt,
+           [](const problem& prob, param_reader& params) {
+             return tstable_factory(prob, params, tstable_engine::plain);
+           }});
+  reg.add({"centralized-rlnc",
+           "Cor 2.6: headerless coding genie, Theta(n) floor",
+           algorithm::centralized_rlnc,
+           [](const problem& prob, param_reader& params) {
+             centralized_config cfg;
+             cfg.b_bits = prob.b;
+             cfg.cap_factor = params.real("cap_factor", cfg.cap_factor);
+             return make_protocol_driver([cfg](session_env& env) {
+               return run_centralized_rlnc(env.net, env.state, cfg);
+             });
+           }});
+  reg.add({"rlnc-direct",
+           "Lemma 5.3 indexed broadcast standalone (indexing granted)",
+           algorithm::rlnc_direct,
+           [](const problem& prob, param_reader& params) {
+             // Messages cost k + d bits, so b must be at least (k + d) / 2
+             // to fit the network's O(b) budget.
+             if (2 * prob.b < prob.k + prob.d) {
+               throw std::invalid_argument(
+                   "ncdn: rlnc-direct needs b >= (k + d) / 2 (k+d-bit coded "
+                   "messages must fit the O(b) budget)");
+             }
+             const double cap_factor = params.real("cap_factor", 16.0);
+             return make_protocol_driver([cap_factor](session_env& env) {
+               // Global indexing is granted (indices in the sorted
+               // distribution), every node seeds its initial tokens, and
+               // everyone broadcasts random GF(2) combinations until all
+               // decoders are full rank.
+               const token_distribution& dist = env.dist;
+               NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
+               rlnc_session coding(env.prob.n, dist.k(), env.prob.d);
+               for (node_id u = 0; u < env.prob.n; ++u) {
+                 for (std::size_t t : dist.held_by_node[u]) {
+                   coding.seed(u, t, dist.tokens[t].payload);
+                 }
+               }
+               // Whp bound is O(n + k); the cap only guards the 2^-n tail.
+               const round_t cap =
+                   static_cast<round_t>(cap_factor * static_cast<double>(
+                                                         env.prob.n + dist.k())) +
+                   64;
+               const round_t used = coding.run(env.net, cap, /*stop_early=*/true);
+               protocol_result res;
+               res.rounds = used;
+               res.complete = coding.all_complete();
+               res.completion_round = res.complete ? used : 0;
+               res.max_message_bits = env.net.max_observed_message_bits();
+               return res;
+             });
+           }});
+}
+
+// --- built-in adversaries ---------------------------------------------------
+
+void register_builtin_adversaries(adversary_registry& reg) {
+  reg.add({"static-path", "fixed path (static-network degenerate case)",
+           topology_kind::static_path,
+           [](const problem& prob, param_reader&, std::uint64_t) {
+             return make_static_path(prob.n);
+           }});
+  reg.add({"static-star", "fixed star (diameter 2, hub bottleneck)",
+           topology_kind::static_star,
+           [](const problem& prob, param_reader&, std::uint64_t) {
+             return make_static_star(prob.n);
+           }});
+  reg.add({"permuted-path",
+           "fresh randomly-permuted path every round (hard oblivious)",
+           topology_kind::permuted_path,
+           [](const problem& prob, param_reader&, std::uint64_t seed) {
+             return make_permuted_path(prob.n, seed);
+           }});
+  reg.add({"random-connected",
+           "fresh sparse random connected graph every round [extra_edges]",
+           topology_kind::random_connected,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const std::size_t extra =
+                 params.size("extra_edges", prob.n / 2);
+             return make_random_connected(prob.n, extra, seed);
+           }});
+  reg.add({"random-geometric",
+           "fresh geometric graph every round (ad-hoc mesh) [radius]",
+           topology_kind::random_geometric,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const double radius = params.real(
+                 "radius", 1.8 / std::sqrt(static_cast<double>(prob.n)));
+             return make_random_geometric(prob.n, radius, seed);
+           }});
+  reg.add({"sorted-path",
+           "adaptive: path sorted by current knowledge [ascending]",
+           topology_kind::sorted_path,
+           [](const problem&, param_reader& params, std::uint64_t) {
+             const bool ascending = params.flag("ascending", true);
+             return std::make_unique<sorted_path_adversary>(ascending);
+           }});
+  // Not part of the old enum facade: Kuhn et al.'s T-interval connectivity
+  // (§9 asks about extending the patch algorithms to it).
+  reg.add({"t-interval",
+           "random spanning tree fixed per T-round window, extra edges "
+           "redrawn every round [t, extra_edges]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const round_t t = params.u64("t", 4);
+             const std::size_t extra =
+                 params.size("extra_edges", prob.n / 2);
+             return make_t_interval(prob.n, t, extra, seed);
+           }});
+}
+
+}  // namespace
+
+protocol_registry& protocol_registry::instance() {
+  static protocol_registry reg = [] {
+    protocol_registry r;
+    register_builtin_protocols(r);
+    return r;
+  }();
+  return reg;
+}
+
+adversary_registry& adversary_registry::instance() {
+  static adversary_registry reg = [] {
+    adversary_registry r;
+    register_builtin_adversaries(r);
+    return r;
+  }();
+  return reg;
+}
+
+// --- spec -> object builders ------------------------------------------------
+
+std::unique_ptr<protocol_driver> build_protocol(
+    const problem& prob, const protocol_spec& spec,
+    std::vector<std::string>* unconsumed) {
+  const protocol_entry* entry = protocol_registry::instance().find(spec.name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ncdn: unknown protocol '" + spec.name +
+                                "' (see list-algorithms)");
+  }
+  param_reader params(spec.params, "protocol '" + spec.name + "'");
+  // Problem-level keys may ride in the same map; apply (idempotently — the
+  // caller already shaped the problem with them) so they count as consumed.
+  const problem effective = apply_problem_params(prob, params);
+  auto driver = entry->make(effective, params);
+  if (unconsumed != nullptr) {
+    *unconsumed = params.unconsumed();
+  } else {
+    params.expect_fully_consumed();
+  }
+  return driver;
+}
+
+std::unique_ptr<adversary> build_adversary(
+    const problem& prob, const adversary_spec& spec, std::uint64_t seed,
+    std::vector<std::string>* unconsumed) {
+  const adversary_entry* entry = adversary_registry::instance().find(spec.name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ncdn: unknown adversary '" + spec.name +
+                                "' (see list-adversaries)");
+  }
+  param_reader params(spec.params, "adversary '" + spec.name + "'");
+  const problem effective = apply_problem_params(prob, params);
+  auto adv = entry->make(effective, params, seed);
+  if (unconsumed != nullptr) {
+    *unconsumed = params.unconsumed();
+  } else {
+    params.expect_fully_consumed();
+  }
+  if (effective.t_stability > 1) {
+    adv = make_t_stable(std::move(adv), effective.t_stability);
+  }
+  return adv;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,185 @@
+// String-keyed spec registries: the open extension points of the public
+// API (the same pattern sparsenc uses for its coding-scheme table).
+//
+// A protocol or adversary registers under a stable name with a factory
+// taking the `problem` and a `param_map` of key=value overrides
+// ("t_stability=4", "radius=0.4", "epoch_cap=8", ...).  Everything the old
+// enum facade dispatched on is registered here as a built-in entry; the
+// enums survive only as lookups into these tables, so a new entry cannot
+// ship without its string and external code can add entries without
+// touching this file:
+//
+//   ncdn::protocol_registry::instance().add(
+//       {"my-protocol", "one-line summary", std::nullopt,
+//        [](const ncdn::problem& prob, ncdn::param_reader& params) {
+//          my_config cfg;
+//          cfg.b_bits = prob.b;
+//          cfg.fanout = params.size("fanout", 2);
+//          return ncdn::make_protocol_driver(
+//              [cfg](ncdn::session_env& env) {
+//                return run_my_protocol(env.net, env.state, cfg);
+//              });
+//        }});
+//
+// User-input errors (unknown name, unknown or malformed parameter) throw
+// std::invalid_argument; contract macros stay reserved for programmer
+// error.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dissemination.hpp"
+#include "dynnet/adversary.hpp"
+#include "dynnet/network.hpp"
+#include "protocols/common.hpp"
+
+namespace ncdn {
+
+/// key=value overrides attached to a spec (deterministically ordered).
+using param_map = std::map<std::string, std::string>;
+
+/// A protocol selection: registry name + overrides.
+struct protocol_spec {
+  std::string name;
+  param_map params;
+};
+
+/// An adversary selection: registry name + overrides.
+struct adversary_spec {
+  std::string name;
+  param_map params;
+};
+
+/// Typed, consumption-tracking access to a param_map.  Factories read the
+/// keys they understand; whoever owns the reader then calls
+/// `expect_fully_consumed()` so a typo'd key fails loudly instead of being
+/// silently ignored.
+class param_reader {
+ public:
+  param_reader(const param_map& params, std::string context)
+      : params_(&params), context_(std::move(context)) {}
+
+  std::size_t size(const std::string& key, std::size_t fallback);
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback);
+  double real(const std::string& key, double fallback);
+  bool flag(const std::string& key, bool fallback);
+  std::string str(const std::string& key, std::string fallback);
+  bool has(const std::string& key) const { return params_->count(key) != 0; }
+
+  /// Keys present in the map that nothing has read yet.
+  std::vector<std::string> unconsumed() const;
+  /// Throws std::invalid_argument naming every unconsumed key.
+  void expect_fully_consumed() const;
+
+ private:
+  const std::string* raw(const std::string& key);
+
+  const param_map* params_;
+  std::string context_;
+  std::vector<std::string> consumed_;
+};
+
+/// What a protocol driver runs against: the instance, the initial token
+/// placement, the round engine, and the shared token-knowledge state.
+struct session_env {
+  const problem& prob;
+  const token_distribution& dist;
+  network& net;
+  token_state& state;
+};
+
+/// A constructed, parameterized protocol ready to run.
+class protocol_driver {
+ public:
+  virtual ~protocol_driver() = default;
+  virtual protocol_result run(session_env& env) = 0;
+};
+
+/// Wraps a callable `session_env& -> protocol_result` as a driver.
+template <class Fn>
+std::unique_ptr<protocol_driver> make_protocol_driver(Fn fn) {
+  class fn_driver final : public protocol_driver {
+   public:
+    explicit fn_driver(Fn f) : fn_(std::move(f)) {}
+    protocol_result run(session_env& env) override { return fn_(env); }
+
+   private:
+    Fn fn_;
+  };
+  return std::make_unique<fn_driver>(std::move(fn));
+}
+
+struct protocol_entry {
+  std::string name;     // e.g. "greedy-forward", "tstable/patch"
+  std::string summary;  // one line for `ncdn-run list-algorithms`
+  std::optional<algorithm> legacy;  // enum shim tag, if any
+  std::function<std::unique_ptr<protocol_driver>(const problem&,
+                                                 param_reader&)>
+      make;
+};
+
+struct adversary_entry {
+  std::string name;
+  std::string summary;
+  std::optional<topology_kind> legacy;
+  // The raw adversary; the caller layers T-stability on top when
+  // prob.t_stability > 1 (matching the old facade).
+  std::function<std::unique_ptr<adversary>(const problem&, param_reader&,
+                                           std::uint64_t seed)>
+      make;
+};
+
+/// Registration-ordered registry (built-ins first, deterministically).
+class protocol_registry {
+ public:
+  static protocol_registry& instance();
+
+  void add(protocol_entry entry);  // duplicate names are programmer error
+  const protocol_entry* find(const std::string& name) const;
+  const std::vector<protocol_entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<protocol_entry> entries_;
+};
+
+class adversary_registry {
+ public:
+  static adversary_registry& instance();
+
+  void add(adversary_entry entry);
+  const adversary_entry* find(const std::string& name) const;
+  const std::vector<adversary_entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<adversary_entry> entries_;
+};
+
+std::vector<std::string> list_protocol_names();
+std::vector<std::string> list_adversary_names();
+
+/// Applies problem-level overrides (`n`, `k`, `d`, `b`, `t_stability`,
+/// `slack`, `placement`) from the reader's param_map.  Spec params are the
+/// single override channel, so `--param t_stability=4` reshapes both the
+/// adversary wrapper and every protocol config derived from the problem.
+problem apply_problem_params(problem prob, param_reader& params);
+
+/// Builds a parameterized driver / adversary from a spec.  Throws
+/// std::invalid_argument on unknown names; unknown parameters throw too,
+/// unless `unconsumed` is non-null, in which case leftover keys are
+/// reported there instead (the session uses this to accept a shared
+/// param_map where each key only needs to be consumed by one side).  The
+/// adversary builder applies the T-stability wrapper exactly like the old
+/// facade.
+std::unique_ptr<protocol_driver> build_protocol(
+    const problem& prob, const protocol_spec& spec,
+    std::vector<std::string>* unconsumed = nullptr);
+std::unique_ptr<adversary> build_adversary(
+    const problem& prob, const adversary_spec& spec, std::uint64_t seed,
+    std::vector<std::string>* unconsumed = nullptr);
+
+}  // namespace ncdn

@@ -1,0 +1,279 @@
+#include "core/session.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/bits.hpp"
+
+namespace ncdn {
+
+session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
+                 std::uint64_t seed)
+    : proto_spec_(std::move(proto)), adv_spec_(std::move(adv)), seed_(seed) {
+  // Problem-level overrides may ride in either spec's param_map (the CLI
+  // hands both the same map); factory-level keys are consumed later by
+  // build_protocol / build_adversary, which also reject leftovers.  The
+  // two maps must agree on problem-level keys: build_protocol /
+  // build_adversary each re-apply their own spec's values, so a conflict
+  // would silently configure the driver and the network from different
+  // problems.
+  for (const char* key :
+       {"n", "k", "d", "b", "t_stability", "slack", "placement"}) {
+    const auto p = proto_spec_.params.find(key);
+    const auto a = adv_spec_.params.find(key);
+    if (p != proto_spec_.params.end() && a != adv_spec_.params.end() &&
+        p->second != a->second) {
+      throw std::invalid_argument(
+          std::string("ncdn: conflicting values for problem parameter '") +
+          key + "': protocol spec says '" + p->second +
+          "', adversary spec says '" + a->second + "'");
+    }
+  }
+  {
+    param_reader params(proto_spec_.params,
+                        "protocol '" + proto_spec_.name + "'");
+    prob_ = apply_problem_params(prob, params);
+  }
+  {
+    param_reader params(adv_spec_.params,
+                        "adversary '" + adv_spec_.name + "'");
+    prob_ = apply_problem_params(prob_, params);
+  }
+  if (!(prob_.n >= 2 && prob_.k >= 1 && prob_.d >= 1 && prob_.b >= prob_.d)) {
+    throw std::invalid_argument(
+        "ncdn: infeasible problem (need n >= 2, k >= 1, d >= 1, b >= d)");
+  }
+  if (prob_.b < bits_for(prob_.n)) {
+    throw std::invalid_argument("ncdn: the model requires b >= log2 n (§4.1)");
+  }
+  if (prob_.place == placement::one_per_node && prob_.k != prob_.n) {
+    throw std::invalid_argument(
+        "ncdn: placement one-per-node requires k == n");
+  }
+
+  // Seed derivation is kept bit-identical to the historical facade so that
+  // every recorded (scenario, seed) cell stays reproducible.
+  std::uint64_t seed_state = seed_;
+  rng dist_rng(splitmix64(seed_state));
+  dist_ = make_distribution(prob_.n, prob_.k, prob_.d, prob_.place, dist_rng);
+  std::vector<std::string> adv_leftover;
+  std::vector<std::string> proto_leftover;
+  adv_ = build_adversary(prob_, adv_spec_, seed_ * 7919 + 11, &adv_leftover);
+  net_ = std::make_unique<network>(prob_.n, prob_.b, *adv_,
+                                   seed_ * 104729 + 13, prob_.slack);
+  state_ = std::make_unique<token_state>(dist_);
+  driver_ = build_protocol(prob_, proto_spec_, &proto_leftover);
+
+  // The CLI hands both specs the same --param map, so a key is fine as
+  // long as *one* side consumed it ("radius" belongs to the adversary,
+  // "epoch_cap" to the protocol).  A key neither side knows is an error.
+  auto consumed_by_other = [](const param_map& other_params,
+                              const std::vector<std::string>& other_leftover,
+                              const std::string& key) {
+    if (other_params.count(key) == 0) return false;
+    for (const std::string& left : other_leftover) {
+      if (left == key) return false;
+    }
+    return true;
+  };
+  for (const std::string& key : proto_leftover) {
+    if (!consumed_by_other(adv_spec_.params, adv_leftover, key)) {
+      throw std::invalid_argument("ncdn: unknown parameter '" + key +
+                                  "' (neither protocol '" + proto_spec_.name +
+                                  "' nor adversary '" + adv_spec_.name +
+                                  "' takes it)");
+    }
+  }
+  for (const std::string& key : adv_leftover) {
+    if (!consumed_by_other(proto_spec_.params, proto_leftover, key)) {
+      throw std::invalid_argument("ncdn: unknown parameter '" + key +
+                                  "' (neither protocol '" + proto_spec_.name +
+                                  "' nor adversary '" + adv_spec_.name +
+                                  "' takes it)");
+    }
+  }
+
+  net_->set_round_hook([this](const round_digest& digest) { on_round(digest); });
+}
+
+session::~session() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard lk(mu_);
+      cancel_ = true;
+      cv_.notify_all();
+    }
+    worker_.join();
+  }
+}
+
+void session::set_observer(observer_fn obs) {
+  NCDN_EXPECTS(!stepping_ && !finished_);
+  observer_ = std::move(obs);
+}
+
+const run_report& session::report() const {
+  NCDN_EXPECTS(finished_);
+  return report_;
+}
+
+void session::collect(const round_digest& digest) {
+  scratch_.round = digest.round;
+  scratch_.silent = digest.silent;
+  scratch_.messages = digest.messages;
+  scratch_.message_bits = digest.message_bits;
+  scratch_.max_message_bits = digest.max_message_bits;
+
+  if (digest.view != nullptr) {
+    const std::size_t n = digest.view->node_count();
+    scratch_.knowledge.resize(n);
+    std::size_t lo = std::numeric_limits<std::size_t>::max();
+    std::size_t hi = 0;
+    std::size_t total = 0;
+    for (node_id u = 0; u < n; ++u) {
+      const std::size_t v = digest.view->knowledge(u);
+      scratch_.knowledge[u] = v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      total += v;
+    }
+    last_knowledge_ = scratch_.knowledge;
+    scratch_.min_knowledge = n == 0 ? 0 : lo;
+    scratch_.max_knowledge = hi;
+    scratch_.total_knowledge = total;
+
+    std::size_t retired = 0;
+    for (node_id u = 0; u < prob_.n; ++u) {
+      retired += state_->known_count(u) - state_->remaining_count(u);
+    }
+    scratch_.tokens_retired = retired;
+  }
+  // Silent round: nothing can change while everyone stays quiet, so
+  // scratch_ keeps the previous round's knowledge snapshot and aggregates
+  // untouched — long T-stable waits stay O(1) per round, not O(n).
+
+  metrics_.rounds = digest.round;
+  if (digest.messages > 0) ++metrics_.rounds_with_traffic;
+  metrics_.total_messages += digest.messages;
+  metrics_.total_message_bits += digest.message_bits;
+  metrics_.peak_round_bits =
+      std::max(metrics_.peak_round_bits, digest.message_bits);
+  if (metrics_.observed_completion_round == 0 &&
+      scratch_.all_complete(dist_.k())) {
+    metrics_.observed_completion_round = digest.round;
+  }
+}
+
+void session::on_round(const round_digest& digest) {
+  collect(digest);
+  if (observer_) observer_(scratch_);
+  if (!stepping_) return;
+
+  // Rendezvous: park the protocol thread, wake the caller blocked in
+  // step().  Strict alternation — exactly one thread touches simulation
+  // state at any time, so stepping is bit-identical to the inline run.
+  std::unique_lock lk(mu_);
+  round_ready_ = true;
+  protocol_turn_ = false;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return protocol_turn_ || cancel_; });
+  if (cancel_) throw cancelled{};
+}
+
+void session::finish(const protocol_result& res) {
+  static_cast<protocol_result&>(report_) = res;
+  report_.prob = prob_;
+  report_.algorithm_name = proto_spec_.name;
+  report_.adversary_name = adv_spec_.name;
+  report_.seed = seed_;
+
+  // Central completion accounting.  Protocols whose final decode happens
+  // outside a stepped round (batch decodes at epoch end) are credited at
+  // the round they reported; view-observed completion can only be earlier.
+  if (metrics_.observed_completion_round == 0 && res.complete) {
+    metrics_.observed_completion_round =
+        res.completion_round != 0 ? res.completion_round : res.rounds;
+  }
+  if (last_knowledge_.empty()) {
+    last_knowledge_.resize(prob_.n);
+    for (node_id u = 0; u < prob_.n; ++u) {
+      last_knowledge_[u] = state_->known_count(u);
+    }
+  }
+  std::size_t lo = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (const std::size_t v : last_knowledge_) {
+    lo = std::min(lo, v);
+    total += v;
+  }
+  metrics_.final_min_knowledge = lo;
+  metrics_.final_total_knowledge = total;
+  std::size_t retired = 0;
+  for (node_id u = 0; u < prob_.n; ++u) {
+    retired += state_->known_count(u) - state_->remaining_count(u);
+  }
+  metrics_.final_tokens_retired = retired;
+
+  report_.metrics = metrics_;
+  finished_ = true;
+}
+
+void session::run_protocol_thread() {
+  {
+    // Do not touch simulation state until the first step() grants the turn.
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return protocol_turn_ || cancel_; });
+    if (cancel_) return;
+  }
+  try {
+    session_env env{prob_, dist_, *net_, *state_};
+    const protocol_result res = driver_->run(env);
+    std::lock_guard lk(mu_);
+    finish(res);
+    protocol_turn_ = false;
+    cv_.notify_all();
+  } catch (cancelled&) {
+    // Session destroyed mid-run; unwind quietly.
+  } catch (...) {
+    std::lock_guard lk(mu_);
+    error_ = std::current_exception();
+    cv_.notify_all();
+  }
+}
+
+bool session::step() {
+  if (finished_) return false;
+  std::unique_lock lk(mu_);
+  if (!stepping_) {
+    stepping_ = true;
+    worker_ = std::thread([this] { run_protocol_thread(); });
+  }
+  round_ready_ = false;
+  protocol_turn_ = true;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return round_ready_ || finished_ || error_ != nullptr; });
+  if (error_ != nullptr) {
+    const std::exception_ptr err = error_;
+    error_ = nullptr;
+    finished_ = true;  // the protocol thread is gone; session is dead
+    lk.unlock();
+    worker_.join();
+    std::rethrow_exception(err);
+  }
+  return !finished_;
+}
+
+const run_report& session::run_to_completion() {
+  if (finished_) return report_;
+  if (stepping_) {
+    while (step()) {
+    }
+    return report_;
+  }
+  session_env env{prob_, dist_, *net_, *state_};
+  const protocol_result res = driver_->run(env);
+  finish(res);
+  return report_;
+}
+
+}  // namespace ncdn

@@ -1,0 +1,119 @@
+// The steppable session: the open replacement for the one-shot
+// `run_dissemination` facade.
+//
+//   ncdn::session s(prob, {"rlnc-direct"}, {"permuted-path"}, /*seed=*/1);
+//   s.set_observer([](const ncdn::round_metrics& m) {
+//     std::printf("round %llu: min knowledge %zu\n",
+//                 (unsigned long long)m.round, m.min_knowledge);
+//   });
+//   while (s.step()) { /* inspect s.state(), s.metrics(), ... */ }
+//   const ncdn::run_report& rep = s.report();
+//
+// A session owns the whole instance — token distribution, adversary (from
+// the adversary registry), round engine, shared token state, and the
+// parameterized protocol driver (from the protocol registry).  It can run
+// in two equivalent modes:
+//
+//   * run_to_completion() — the protocol loop runs inline on the calling
+//     thread; the observer fires after every round via the network's round
+//     hook.  This is what the sweep engine and the legacy facade use.
+//   * step() — the protocol (written as a free-running loop) executes on a
+//     private rendezvous thread that parks at every round boundary, so the
+//     caller advances the simulation one communication round at a time.
+//     Strict hand-off (exactly one of the two threads ever runs) keeps the
+//     execution bit-identical to the inline mode.
+//
+// Both modes feed the same `round_metrics` stream and fold it into
+// `session_metrics`, which centrally subsumes the protocols' hand-rolled
+// observer-measured completion tracking.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "core/registry.hpp"
+
+namespace ncdn {
+
+class session {
+ public:
+  /// Builds the full instance.  Problem-level keys in either spec's params
+  /// (n, k, d, b, t_stability, slack, placement) override `prob` first;
+  /// remaining keys parameterize the protocol / adversary factories.
+  /// Throws std::invalid_argument on unknown names, unknown or malformed
+  /// params, or an infeasible problem.
+  session(const problem& prob, protocol_spec proto, adversary_spec adv,
+          std::uint64_t seed);
+  ~session();
+
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  using observer_fn = std::function<void(const round_metrics&)>;
+
+  /// Installs a per-round observer (call before the first step/run).  The
+  /// snapshot is valid only during the call; copy what you keep.
+  void set_observer(observer_fn obs);
+
+  /// Advances exactly one communication round (a silent waiting round
+  /// counts).  Returns false once the protocol has terminated — the final
+  /// call that observes termination itself returns false.
+  bool step();
+
+  /// Runs the protocol to termination and returns the report.  Composes
+  /// with step(): finishes whatever rounds remain.
+  const run_report& run_to_completion();
+
+  bool finished() const noexcept { return finished_; }
+  /// The run record; only valid once finished() is true.
+  const run_report& report() const;
+
+  /// Session-observed aggregates (valid mid-run; final after completion).
+  const session_metrics& metrics() const noexcept { return metrics_; }
+
+  round_t rounds_elapsed() const noexcept { return net_->rounds_elapsed(); }
+  const problem& prob() const noexcept { return prob_; }
+  const token_distribution& distribution() const noexcept { return dist_; }
+  const token_state& state() const noexcept { return *state_; }
+  network& net() noexcept { return *net_; }
+
+ private:
+  struct cancelled {};  // unwinds the protocol thread on early destruction
+
+  void on_round(const round_digest& digest);  // network round hook target
+  void collect(const round_digest& digest);   // digest -> scratch_/metrics_
+  void finish(const protocol_result& res);    // builds report_
+  void run_protocol_thread();
+
+  problem prob_;
+  protocol_spec proto_spec_;
+  adversary_spec adv_spec_;
+  std::uint64_t seed_ = 0;
+
+  token_distribution dist_;
+  std::unique_ptr<adversary> adv_;
+  std::unique_ptr<network> net_;
+  std::unique_ptr<token_state> state_;
+  std::unique_ptr<protocol_driver> driver_;
+
+  observer_fn observer_;
+  round_metrics scratch_;  // reused snapshot buffer
+  std::vector<std::size_t> last_knowledge_;
+  session_metrics metrics_;
+  run_report report_;
+  bool finished_ = false;
+
+  // --- stepping rendezvous (engaged by the first step() call) ---
+  bool stepping_ = false;  // protocol runs on worker_; hooks park it
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool protocol_turn_ = false;  // worker may run; else caller owns the state
+  bool round_ready_ = false;    // a round completed since the last step()
+  bool cancel_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace ncdn

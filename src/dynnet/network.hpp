@@ -15,6 +15,7 @@
 // (gather, flood, broadcast, ...) read naturally as sequential code.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -24,6 +25,19 @@
 #include "dynnet/graph.hpp"
 
 namespace ncdn {
+
+/// What the round hook sees after each round's delivery: the round index,
+/// the knowledge_view the protocol stepped with (null for silent rounds),
+/// and the message bits the round used.  This is the engine-level feed the
+/// session turns into `round_metrics` for its observer.
+struct round_digest {
+  round_t round = 0;                     // rounds_elapsed() after the round
+  const knowledge_view* view = nullptr;  // post-delivery state; null = silent
+  std::size_t messages = 0;              // nodes that broadcast
+  std::size_t message_bits = 0;          // total bits this round
+  std::size_t max_message_bits = 0;      // largest single message this round
+  bool silent = false;
+};
 
 template <class M>
 concept sized_message = requires(const M& m) {
@@ -52,6 +66,14 @@ class network {
     return node_rngs_[u];
   }
 
+  /// Installs a hook invoked after every round (including each silent
+  /// round).  The hook observes but must not mutate protocol state; it is
+  /// how the session drives per-round observers without the protocols
+  /// knowing.  Pass an empty function to remove it.
+  void set_round_hook(std::function<void(const round_digest&)> hook) {
+    round_hook_ = std::move(hook);
+  }
+
   /// Runs one synchronized round.
   ///
   /// MakeMsg: node_id, rng& -> std::optional<Msg>  (nullopt = silent node)
@@ -62,6 +84,7 @@ class network {
     const graph& g = adv_.topology(round_, view);
     NCDN_ASSERT(g.order() == n_);
 
+    round_digest digest;
     messages_of_round<Msg> msgs;
     msgs.reserve(n_);
     for (node_id u = 0; u < n_; ++u) {
@@ -71,6 +94,9 @@ class network {
         NCDN_ASSERT(static_cast<double>(bits) <=
                     slack_ * static_cast<double>(b_bits_) + framing_bits_);
         max_message_bits_ = std::max(max_message_bits_, bits);
+        ++digest.messages;
+        digest.message_bits += bits;
+        digest.max_message_bits = std::max(digest.max_message_bits, bits);
       }
     }
 
@@ -83,11 +109,28 @@ class network {
       deliver(u, static_cast<const std::vector<const Msg*>&>(inbox));
     }
     ++round_;
+    if (round_hook_) {
+      digest.round = round_;
+      digest.view = &view;
+      round_hook_(digest);
+    }
   }
 
   /// Rounds in which all nodes stay silent (protocol-internal waiting while
   /// staying synchronized); still counts toward the running time.
-  void silent_rounds(round_t count) { round_ += count; }
+  void silent_rounds(round_t count) {
+    if (!round_hook_) {
+      round_ += count;
+      return;
+    }
+    for (round_t i = 0; i < count; ++i) {
+      ++round_;
+      round_digest digest;
+      digest.round = round_;
+      digest.silent = true;
+      round_hook_(digest);
+    }
+  }
 
  private:
   template <class Msg>
@@ -101,6 +144,7 @@ class network {
   round_t round_ = 0;
   std::size_t max_message_bits_ = 0;
   std::vector<rng> node_rngs_;
+  std::function<void(const round_digest&)> round_hook_;
 };
 
 }  // namespace ncdn

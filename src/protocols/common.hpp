@@ -32,10 +32,19 @@ class token_state final : public knowledge_view {
  public:
   explicit token_state(const token_distribution& dist)
       : dist_(&dist),
-        known_(dist.n, bitvec(dist.k())),
-        remaining_(dist.n, bitvec(dist.k())),
+        retired_(dist.k()),
         known_count_(dist.n, 0),
         remaining_count_(dist.n, 0) {
+    // Pre-reserve all per-node bitvec storage from dist.k() once, instead
+    // of copy-constructing a prototype per node (and instead of the old
+    // lazily-allocated retired_ mask, whose emptiness learn() had to probe
+    // on every call).
+    known_.reserve(dist.n);
+    remaining_.reserve(dist.n);
+    for (node_id u = 0; u < dist.n; ++u) {
+      known_.emplace_back(dist.k());
+      remaining_.emplace_back(dist.k());
+    }
     for (node_id u = 0; u < dist.n; ++u) {
       for (std::size_t t : dist.held_by_node[u]) learn(u, t);
     }
@@ -55,7 +64,10 @@ class token_state final : public knowledge_view {
     if (!known_[u].get(t)) {
       known_[u].set(t);
       ++known_count_[u];
-      if (!retired_.empty() && retired_.get(t)) return;
+      // retired_ is sized k at construction, so learning a globally
+      // retired token is a single bit probe — O(1), never an allocation.
+      NCDN_ASSERT(!retired_.empty());
+      if (retired_.get(t)) return;
       remaining_[u].set(t);
       ++remaining_count_[u];
     }
@@ -81,7 +93,6 @@ class token_state final : public knowledge_view {
   /// Marks t retired for all *future* learners too (call when every node
   /// confirmed decoding).
   void retire_everywhere(std::size_t t) {
-    if (retired_.empty()) retired_ = bitvec(k());
     retired_.set(t);
     for (node_id u = 0; u < dist_->n; ++u) retire(u, t);
   }
@@ -118,7 +129,7 @@ class token_state final : public knowledge_view {
   const token_distribution* dist_;
   std::vector<bitvec> known_;      // node -> k-bit membership
   std::vector<bitvec> remaining_;  // node -> known-or-not, still in play
-  bitvec retired_;                 // globally retired (lazy-initialized)
+  bitvec retired_;                 // globally retired (sized k up front)
   std::vector<std::size_t> known_count_;
   std::vector<std::size_t> remaining_count_;
 };

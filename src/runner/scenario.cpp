@@ -7,7 +7,7 @@ namespace ncdn::runner {
 namespace {
 
 struct proto_spec {
-  algorithm alg;
+  const char* name;  // protocol registry name
   std::size_t b_bits;
   round_t t_stability;
   std::vector<std::size_t> sizes;  // n (= k: one token per node)
@@ -19,42 +19,44 @@ std::vector<scenario> build_registry() {
   // d = 8 everywhere; b per protocol family (rlnc-direct needs
   // b >= (k + d) / 2 to fit its k+d-bit coded messages in the O(b) budget).
   const std::vector<proto_spec> protos = {
-      {algorithm::token_forwarding, 16, 1, {16, 32}},
-      {algorithm::token_forwarding_pipelined, 16, 1, {16}},
-      {algorithm::naive_indexed, 32, 1, {16, 32}},
-      {algorithm::greedy_forward, 32, 1, {16, 32}},
-      {algorithm::priority_forward_flooding, 32, 1, {16}},
-      {algorithm::priority_forward_charged, 32, 1, {16}},
-      {algorithm::rlnc_direct, 32, 1, {16, 32}},
-      {algorithm::centralized_rlnc, 32, 1, {16}},
-      {algorithm::tstable_auto, 32, 4, {16}},
+      {"token-forwarding", 16, 1, {16, 32}},
+      {"token-forwarding-pipelined", 16, 1, {16}},
+      {"naive-indexed", 32, 1, {16, 32}},
+      {"greedy-forward", 32, 1, {16, 32}},
+      {"priority-forward/flooding", 32, 1, {16}},
+      {"priority-forward/charged", 32, 1, {16}},
+      {"rlnc-direct", 32, 1, {16, 32}},
+      {"centralized-rlnc", 32, 1, {16}},
+      {"tstable/auto", 32, 4, {16}},
       // Patching needs a window long enough to build patches and run full
       // broadcast cycles inside it (§8); T = 256 at n = 32, b = 16 is the
       // sizing the patch tests prove feasible.
-      {algorithm::tstable_patch, 16, 256, {32}},
-      {algorithm::tstable_chunked, 32, 4, {16}},
+      {"tstable/patch", 16, 256, {32}},
+      {"tstable/chunked", 32, 4, {16}},
   };
-  const std::vector<topology_kind> advs = {
-      topology_kind::static_path,      topology_kind::static_star,
-      topology_kind::permuted_path,    topology_kind::random_connected,
-      topology_kind::random_geometric, topology_kind::sorted_path,
+  const std::vector<std::string> advs = {
+      "static-path",      "static-star",      "permuted-path",
+      "random-connected", "random-geometric", "sorted-path",
   };
 
   std::vector<scenario> out;
   for (const proto_spec& p : protos) {
+    // Every scenario cell must resolve through the registries; a typo'd
+    // name fails here, at registry build time, not mid-sweep.
+    NCDN_ASSERT(protocol_registry::instance().find(p.name) != nullptr);
     for (std::size_t n : p.sizes) {
-      for (topology_kind topo : advs) {
+      for (const std::string& adv : advs) {
+        NCDN_ASSERT(adversary_registry::instance().find(adv) != nullptr);
         scenario s;
-        s.alg = p.alg;
-        s.topo = topo;
+        s.alg = p.name;
+        s.adv = adv;
         s.prob.n = n;
         s.prob.k = n;
         s.prob.d = 8;
         s.prob.b = p.b_bits;
         s.prob.t_stability = p.t_stability;
         s.prob.place = placement::one_per_node;
-        s.name = std::string(to_string(p.alg)) + "/" + to_string(topo) +
-                 "/n" + std::to_string(n);
+        s.name = s.alg + "/" + s.adv + "/n" + std::to_string(n);
         out.push_back(std::move(s));
       }
     }
@@ -87,7 +89,7 @@ std::vector<scenario> scenarios_matching(const std::string& pattern) {
 }
 
 std::size_t distinct_algorithms(const std::vector<scenario>& s) {
-  std::vector<algorithm> seen;
+  std::vector<std::string> seen;
   for (const scenario& sc : s) {
     if (std::find(seen.begin(), seen.end(), sc.alg) == seen.end()) {
       seen.push_back(sc.alg);
@@ -97,10 +99,10 @@ std::size_t distinct_algorithms(const std::vector<scenario>& s) {
 }
 
 std::size_t distinct_adversaries(const std::vector<scenario>& s) {
-  std::vector<topology_kind> seen;
+  std::vector<std::string> seen;
   for (const scenario& sc : s) {
-    if (std::find(seen.begin(), seen.end(), sc.topo) == seen.end()) {
-      seen.push_back(sc.topo);
+    if (std::find(seen.begin(), seen.end(), sc.adv) == seen.end()) {
+      seen.push_back(sc.adv);
     }
   }
   return seen.size();

@@ -1,28 +1,36 @@
 // Scenario registry: named (protocol x adversary x size) configurations.
 //
-// A scenario is everything run_dissemination needs except the seed, under a
-// stable name like "greedy-forward/permuted-path/n32".  The built-in
-// registry spans the protocol families of the paper — flooding baselines
-// (Thm 2.1), the forwarding ladder (naive-indexed Cor 7.1, greedy Thm 7.3,
-// priority Thm 7.5 — all driven by the random-forward gathering primitive
-// of Lemma 7.2), direct and centralized RLNC (Lemma 5.3, Cor 2.6), and the
-// T-stable engines (§8) — against every adversary the facade knows.  Sweep
-// tooling (ncdn-run, tests, future perf tracking) selects by exact name or
-// substring so new scenarios are additive, never breaking existing sweeps.
+// A scenario is everything a session needs except the seed, under a stable
+// name like "greedy-forward/permuted-path/n32".  Scenarios carry *registry
+// spec strings* — the scenario name is the single source of truth, built
+// from the same names `ncdn-run list-algorithms` / `list-adversaries`
+// print, so there are no parallel enum tables to fall out of sync.  The
+// built-in registry spans the protocol families of the paper — flooding
+// baselines (Thm 2.1), the forwarding ladder (naive-indexed Cor 7.1,
+// greedy Thm 7.3, priority Thm 7.5 — all driven by the random-forward
+// gathering primitive of Lemma 7.2), direct and centralized RLNC
+// (Lemma 5.3, Cor 2.6), and the T-stable engines (§8) — against every
+// adversary the old facade knew.  Sweep tooling (ncdn-run, tests, perf
+// tracking) selects by exact name or substring so new scenarios are
+// additive, never breaking existing sweeps.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "core/dissemination.hpp"
+#include "core/registry.hpp"
 
 namespace ncdn::runner {
 
 struct scenario {
-  std::string name;    // "<algorithm>/<adversary>/n<nodes>"
-  algorithm alg = algorithm::greedy_forward;
-  topology_kind topo = topology_kind::permuted_path;
+  std::string name;  // "<algorithm>/<adversary>/n<nodes>"
+  std::string alg;   // protocol registry name
+  std::string adv;   // adversary registry name
+  param_map params;  // extra spec overrides (usually empty for built-ins)
   problem prob;
+
+  protocol_spec protocol() const { return {alg, params}; }
+  adversary_spec adversary() const { return {adv, params}; }
 };
 
 /// The built-in scenarios, built once, ordered deterministically

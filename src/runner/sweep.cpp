@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 
 #include "core/bits.hpp"
 #include "core/rng.hpp"
+#include "core/session.hpp"
 #include "core/stats.hpp"
 
 namespace ncdn::runner {
@@ -47,6 +49,12 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
     }
   }
 
+  // A malformed scenario (unknown spec name, bad param, infeasible
+  // problem) throws std::invalid_argument from the session ctor.  Workers
+  // must not let that escape (an exception leaving a std::thread is
+  // std::terminate); capture per-cell and rethrow deterministically —
+  // lowest cell index wins regardless of scheduling.
+  std::vector<std::string> cell_errors(result.cells.size());
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
@@ -54,11 +62,12 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
       if (i >= result.cells.size()) return;
       cell_result& cell = result.cells[i];
       const scenario& scen = result.scenarios[cell.scenario_index];
-      run_options ro;
-      ro.alg = scen.alg;
-      ro.topo = scen.topo;
-      ro.seed = cell.seed;
-      cell.report = run_dissemination(scen.prob, ro);
+      try {
+        session s(scen.prob, scen.protocol(), scen.adversary(), cell.seed);
+        cell.report = s.run_to_completion();
+      } catch (const std::exception& err) {
+        cell_errors[i] = err.what();
+      }
     }
   };
 
@@ -68,13 +77,24 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
     pool.emplace_back(worker);
   }
   for (std::thread& th : pool) th.join();
+  for (std::size_t i = 0; i < cell_errors.size(); ++i) {
+    if (!cell_errors[i].empty()) {
+      throw std::invalid_argument(
+          "ncdn: sweep cell '" +
+          result.scenarios[result.cells[i].scenario_index].name + "' trial " +
+          std::to_string(result.cells[i].trial) + ": " + cell_errors[i]);
+    }
+  }
   return result;
 }
 
 json::value sweep_to_json(const sweep_result& result) {
   json::object root;
   json::put(root, "tool", "ncdn-run");
-  json::put(root, "format_version", std::uint64_t{1});
+  // v2: cells grew the session-observed metrics block (observer-measured
+  // completion, traffic totals, final knowledge) and algorithm/adversary
+  // became registry spec names.
+  json::put(root, "format_version", std::uint64_t{2});
 
   json::object config;
   json::put(config, "trials", result.options.trials);
@@ -93,8 +113,8 @@ json::value sweep_to_json(const sweep_result& result) {
     const scenario& scen = result.scenarios[cell.scenario_index];
     json::object c;
     json::put(c, "scenario", scen.name);
-    json::put(c, "algorithm", to_string(scen.alg));
-    json::put(c, "adversary", to_string(scen.topo));
+    json::put(c, "algorithm", scen.alg);
+    json::put(c, "adversary", scen.adv);
     json::put(c, "n", scen.prob.n);
     json::put(c, "k", scen.prob.k);
     json::put(c, "d", scen.prob.d);
@@ -108,6 +128,19 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(c, "early_stop", cell.report.early_stop);
     json::put(c, "max_message_bits", cell.report.max_message_bits);
     json::put(c, "epochs", cell.report.epochs);
+    // v2: the session's per-round observer aggregates.
+    const session_metrics& m = cell.report.metrics;
+    json::object mo;
+    json::put(mo, "observed_completion_round",
+              std::uint64_t{m.observed_completion_round});
+    json::put(mo, "rounds_with_traffic", std::uint64_t{m.rounds_with_traffic});
+    json::put(mo, "total_messages", m.total_messages);
+    json::put(mo, "total_message_bits", m.total_message_bits);
+    json::put(mo, "peak_round_bits", m.peak_round_bits);
+    json::put(mo, "final_min_knowledge", m.final_min_knowledge);
+    json::put(mo, "final_total_knowledge", m.final_total_knowledge);
+    json::put(mo, "final_tokens_retired", m.final_tokens_retired);
+    json::put(c, "metrics", json::value{std::move(mo)});
     cells.push_back(json::value{std::move(c)});
   }
   json::put(root, "cells", json::value{std::move(cells)});

@@ -1,0 +1,315 @@
+// Registry + session tests: every registered protocol x adversary pair
+// constructs and completes a tiny session through the string API, the
+// legacy enum facade stays bit-identical to the new API at equal seeds,
+// stepping is bit-identical to the inline run, and the observer stream /
+// parameter machinery behave.  Also holds the token_state micro-asserts
+// for the pre-reserved retirement storage.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "core/session.hpp"
+
+namespace ncdn {
+namespace {
+
+// Per-protocol sizing for the tiny (n=8, k=8) cross-product: message budget
+// and the stability window the engine needs to be feasible (patching wants
+// a window long enough for full broadcast cycles inside it, §8).
+struct tiny_shape {
+  std::size_t b = 32;
+  round_t t = 1;
+};
+
+tiny_shape shape_for(const std::string& protocol) {
+  if (protocol == "tstable/patch" || protocol == "tstable/patch-gather") {
+    return {32, 256};
+  }
+  if (protocol.rfind("tstable/", 0) == 0) return {32, 4};
+  return {32, 1};
+}
+
+problem tiny_problem(const std::string& protocol) {
+  const tiny_shape shape = shape_for(protocol);
+  problem prob;
+  prob.n = 8;
+  prob.k = 8;
+  prob.d = 8;
+  prob.b = shape.b;
+  prob.t_stability = shape.t;
+  return prob;
+}
+
+void expect_reports_equal(const run_report& a, const run_report& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.completion_round, b.completion_round) << what;
+  EXPECT_EQ(a.complete, b.complete) << what;
+  EXPECT_EQ(a.early_stop, b.early_stop) << what;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << what;
+  EXPECT_EQ(a.epochs, b.epochs) << what;
+  EXPECT_EQ(a.metrics.observed_completion_round,
+            b.metrics.observed_completion_round)
+      << what;
+  EXPECT_EQ(a.metrics.total_message_bits, b.metrics.total_message_bits)
+      << what;
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds) << what;
+}
+
+TEST(registries, every_enum_has_an_entry_and_names_are_unique) {
+  // Names derive from the registries, so a new entry cannot silently miss
+  // its string — and no enum may be left without an entry.
+  for (const algorithm a :
+       {algorithm::token_forwarding, algorithm::token_forwarding_pipelined,
+        algorithm::naive_indexed, algorithm::greedy_forward,
+        algorithm::priority_forward_flooding,
+        algorithm::priority_forward_charged, algorithm::tstable_auto,
+        algorithm::tstable_patch, algorithm::tstable_chunked,
+        algorithm::tstable_patch_gather, algorithm::centralized_rlnc,
+        algorithm::rlnc_direct}) {
+    EXPECT_STRNE(to_string(a), "?");
+    EXPECT_NE(protocol_registry::instance().find(to_string(a)), nullptr);
+  }
+  for (const topology_kind t :
+       {topology_kind::static_path, topology_kind::static_star,
+        topology_kind::permuted_path, topology_kind::random_connected,
+        topology_kind::random_geometric, topology_kind::sorted_path}) {
+    EXPECT_STRNE(to_string(t), "?");
+    EXPECT_NE(adversary_registry::instance().find(to_string(t)), nullptr);
+  }
+  const std::vector<std::string> protos = list_protocol_names();
+  const std::vector<std::string> advs = list_adversary_names();
+  EXPECT_GE(protos.size(), 13u);  // 12 legacy + tstable/plain
+  EXPECT_GE(advs.size(), 7u);     // 6 legacy + t-interval
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    for (std::size_t j = i + 1; j < protos.size(); ++j) {
+      EXPECT_NE(protos[i], protos[j]);
+    }
+  }
+  for (std::size_t i = 0; i < advs.size(); ++i) {
+    for (std::size_t j = i + 1; j < advs.size(); ++j) {
+      EXPECT_NE(advs[i], advs[j]);
+    }
+  }
+}
+
+// The acceptance gate: every registered protocol x adversary name builds a
+// tiny session through the string API and runs to completion; where the
+// pair is expressible through the deprecated enum facade, the run_report
+// is bit-identical at equal seeds.
+using cross_case = std::pair<std::string, std::string>;
+
+class registry_cross_suite
+    : public ::testing::TestWithParam<cross_case> {};
+
+TEST_P(registry_cross_suite, string_api_completes_and_matches_legacy_facade) {
+  const auto& [proto, adv] = GetParam();
+  const problem prob = tiny_problem(proto);
+  const std::uint64_t seed = 17;
+
+  session s(prob, protocol_spec{proto, {}}, adversary_spec{adv, {}}, seed);
+  const run_report rep = s.run_to_completion();
+  EXPECT_TRUE(rep.complete) << proto << " on " << adv;
+  EXPECT_GT(rep.rounds, 0u) << proto << " on " << adv;
+  EXPECT_EQ(rep.algorithm_name, proto);
+  EXPECT_EQ(rep.adversary_name, adv);
+  if (rep.complete) {
+    EXPECT_GT(rep.metrics.observed_completion_round, 0u) << proto;
+  }
+
+  // Legacy facade comparison, where the pair has enum shims.
+  const protocol_entry* pe = protocol_registry::instance().find(proto);
+  const adversary_entry* ae = adversary_registry::instance().find(adv);
+  ASSERT_NE(pe, nullptr);
+  ASSERT_NE(ae, nullptr);
+  if (pe->legacy.has_value() && ae->legacy.has_value()) {
+    run_options opts;
+    opts.alg = *pe->legacy;
+    opts.topo = *ae->legacy;
+    opts.seed = seed;
+    const run_report legacy = run_dissemination(prob, opts);
+    expect_reports_equal(rep, legacy, proto + " on " + adv + " (vs enums)");
+  }
+}
+
+std::vector<cross_case> cross_product() {
+  std::vector<cross_case> out;
+  for (const std::string& p : list_protocol_names()) {
+    for (const std::string& a : list_adversary_names()) {
+      out.push_back({p, a});
+    }
+  }
+  return out;
+}
+
+std::string cross_name(const ::testing::TestParamInfo<cross_case>& info) {
+  std::string s = info.param.first + "_" + info.param.second;
+  for (char& ch : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(ch)))) ch = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(all_pairs, registry_cross_suite,
+                         ::testing::ValuesIn(cross_product()), cross_name);
+
+TEST(session, stepping_is_bit_identical_to_inline_run) {
+  for (const char* proto :
+       {"token-forwarding", "greedy-forward", "rlnc-direct", "tstable/auto"}) {
+    const problem prob = tiny_problem(proto);
+    session inline_s(prob, protocol_spec{proto, {}},
+                     adversary_spec{"permuted-path", {}}, 23);
+    const run_report inline_rep = inline_s.run_to_completion();
+
+    session stepped(prob, protocol_spec{proto, {}},
+                    adversary_spec{"permuted-path", {}}, 23);
+    round_t observed_rounds = 0;
+    round_t last_round = 0;
+    stepped.set_observer([&](const round_metrics& m) {
+      ++observed_rounds;
+      EXPECT_EQ(m.round, last_round + 1);  // every round, exactly once
+      last_round = m.round;
+      EXPECT_EQ(m.knowledge.size(), prob.n);
+    });
+    round_t steps = 0;
+    while (stepped.step()) ++steps;
+    ASSERT_TRUE(stepped.finished());
+    const run_report& step_rep = stepped.report();
+
+    expect_reports_equal(inline_rep, step_rep,
+                         std::string(proto) + " (stepped vs inline)");
+    EXPECT_EQ(steps, observed_rounds);
+    EXPECT_EQ(observed_rounds, step_rep.metrics.rounds);
+  }
+}
+
+TEST(session, observer_sees_monotone_knowledge_and_completion) {
+  const problem prob = tiny_problem("token-forwarding");
+  session s(prob, protocol_spec{"token-forwarding", {}},
+            adversary_spec{"static-path", {}}, 5);
+  std::size_t last_total = 0;
+  round_t completion_seen = 0;
+  s.set_observer([&](const round_metrics& m) {
+    EXPECT_GE(m.total_knowledge, last_total);  // forwarding never forgets
+    last_total = m.total_knowledge;
+    if (completion_seen == 0 && m.all_complete(prob.k)) {
+      completion_seen = m.round;
+    }
+  });
+  const run_report& rep = s.run_to_completion();
+  ASSERT_TRUE(rep.complete);
+  EXPECT_EQ(completion_seen, rep.metrics.observed_completion_round);
+  // The session's central observer subsumes the protocol's hand-rolled
+  // completion tracking: flooding checks after every round, so the two
+  // agree exactly.
+  EXPECT_EQ(rep.metrics.observed_completion_round, rep.completion_round);
+}
+
+TEST(session, abandoning_a_stepped_session_mid_run_unwinds_cleanly) {
+  const problem prob = tiny_problem("greedy-forward");
+  session s(prob, protocol_spec{"greedy-forward", {}},
+            adversary_spec{"permuted-path", {}}, 7);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.finished());
+  // Destructor cancels the parked protocol thread.
+}
+
+TEST(session, params_override_problem_and_reject_typos) {
+  problem prob = tiny_problem("tstable/chunked");
+  prob.t_stability = 1;  // overridden below
+
+  param_map params;
+  params["t_stability"] = "4";
+  session s(prob, protocol_spec{"tstable/chunked", params},
+            adversary_spec{"permuted-path", params}, 31);
+  const run_report rep = s.run_to_completion();
+  EXPECT_TRUE(rep.complete);
+  EXPECT_EQ(rep.prob.t_stability, 4u);
+
+  problem legacy_prob = prob;
+  legacy_prob.t_stability = 4;
+  run_options opts;
+  opts.alg = algorithm::tstable_chunked;
+  opts.topo = topology_kind::permuted_path;
+  opts.seed = 31;
+  const run_report legacy = run_dissemination(legacy_prob, opts);
+  expect_reports_equal(rep, legacy, "t_stability=4 param vs problem field");
+
+  // The CLI hands both specs the same --param map: a key consumed by one
+  // side (radius belongs to the adversary) must not trip the other.
+  param_map shared;
+  shared["radius"] = "0.9";
+  session ok(prob, protocol_spec{"greedy-forward", shared},
+             adversary_spec{"random-geometric", shared}, 3);
+  EXPECT_TRUE(ok.run_to_completion().complete);
+
+  EXPECT_THROW(session(prob, protocol_spec{"greedy-forward", {{"zap", "1"}}},
+                       adversary_spec{"permuted-path", {}}, 1),
+               std::invalid_argument);
+  // Conflicting problem-level values across the two specs would configure
+  // the driver and the network from different problems; rejected.
+  EXPECT_THROW(session(prob, protocol_spec{"greedy-forward", {{"b", "64"}}},
+                       adversary_spec{"permuted-path", {{"b", "16"}}}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(session(prob, protocol_spec{"greedy-forward", {}},
+                       adversary_spec{"permuted-path", {{"radius", "x"}}}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(session(prob, protocol_spec{"no-such-protocol", {}},
+                       adversary_spec{"permuted-path", {}}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(session(prob, protocol_spec{"greedy-forward", {}},
+                       adversary_spec{"no-such-adversary", {}}, 1),
+               std::invalid_argument);
+}
+
+TEST(session, adversary_params_reshape_the_topology) {
+  problem prob = tiny_problem("token-forwarding");
+  // A denser random-connected graph should not disseminate slower on
+  // average; mainly this proves the factory actually consumes the key.
+  session sparse(prob, protocol_spec{"token-forwarding", {}},
+                 adversary_spec{"random-connected", {{"extra_edges", "0"}}},
+                 11);
+  session dense(prob, protocol_spec{"token-forwarding", {}},
+                adversary_spec{"random-connected", {{"extra_edges", "20"}}},
+                11);
+  const run_report rs = sparse.run_to_completion();
+  const run_report rd = dense.run_to_completion();
+  EXPECT_TRUE(rs.complete);
+  EXPECT_TRUE(rd.complete);
+  EXPECT_LE(rd.metrics.observed_completion_round,
+            rs.metrics.observed_completion_round);
+}
+
+TEST(token_state, learn_on_retired_token_stays_constant_time) {
+  // The retirement mask is pre-reserved from dist.k() at construction, so
+  // learning a globally retired token is a bit probe + counter bump and
+  // never touches the remaining_/consideration bookkeeping.
+  rng r(3);
+  const token_distribution dist =
+      make_distribution(8, 8, 8, placement::one_per_node, r);
+  token_state st(dist);
+
+  st.retire_everywhere(3);
+  const node_id u = 5;
+  ASSERT_FALSE(st.knows(u, 3));
+  const std::size_t remaining_before = st.remaining_count(u);
+
+  st.learn(u, 3);
+  EXPECT_TRUE(st.knows(u, 3));
+  EXPECT_FALSE(st.in_consideration(u, 3));  // retired stays retired
+  EXPECT_EQ(st.remaining_count(u), remaining_before);
+
+  // Re-learning is idempotent.
+  st.learn(u, 3);
+  EXPECT_EQ(st.remaining_count(u), remaining_before);
+
+  // A non-retired token still enters consideration normally.
+  if (!st.knows(u, 2)) {
+    st.learn(u, 2);
+    EXPECT_TRUE(st.in_consideration(u, 2));
+  }
+}
+
+}  // namespace
+}  // namespace ncdn

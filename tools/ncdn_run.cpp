@@ -1,7 +1,17 @@
-// ncdn-run — scenario sweep CLI.
+// ncdn-run — scenario sweep CLI over the registry-driven session API.
 //
 //   ncdn-run list [PATTERN]          list registry scenarios (name match)
-//   ncdn-run run NAME [--seed S]     one scenario, one seed, human summary
+//   ncdn-run list-algorithms         every registered protocol + summary
+//   ncdn-run list-adversaries        every registered adversary + summary
+//   ncdn-run run NAME [options]      one named scenario, one seed
+//   ncdn-run run --alg A --topo T [options]
+//                                    ad-hoc cell from registry spec names
+//                                    (defaults: n=16 k=16 d=8 b=32)
+//     --seed S          seed                            (default 1)
+//     --param K=V       spec override, repeatable: problem keys (n, k, d,
+//                       b, t_stability, slack, placement) or factory keys
+//                       (radius, extra_edges, epoch_cap, phase_factor, ...)
+//     --trace           print a per-round observer line while running
 //   ncdn-run sweep [options]         parallel sweep, JSON results
 //     --match PATTERN   substring filter over scenario names (repeatable;
 //                       a scenario is swept if any pattern matches)
@@ -17,9 +27,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/session.hpp"
 #include "runner/sweep.hpp"
 
 namespace {
@@ -30,10 +42,13 @@ using namespace ncdn::runner;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list [PATTERN]\n"
-               "       %s run NAME [--seed S]\n"
+               "       %s list-algorithms | list-adversaries\n"
+               "       %s run NAME [--seed S] [--param K=V]... [--trace]\n"
+               "       %s run --alg NAME --topo NAME [--seed S] "
+               "[--param K=V]... [--trace]\n"
                "       %s sweep [--match PATTERN]... [--seeds N] "
                "[--base-seed S] [--threads N] [--out PATH] [--pretty]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -61,28 +76,154 @@ int cmd_list(const std::string& pattern) {
   return 0;
 }
 
-int cmd_run(const std::string& name, std::uint64_t seed) {
-  const scenario* s = find_scenario(name);
-  if (s == nullptr) {
-    std::fprintf(stderr, "ncdn-run: unknown scenario '%s' (try `list`)\n",
-                 name.c_str());
-    return 2;
+int cmd_list_algorithms() {
+  for (const protocol_entry& e : protocol_registry::instance().entries()) {
+    std::printf("%-28s %s\n", e.name.c_str(), e.summary.c_str());
   }
-  run_options ro;
-  ro.alg = s->alg;
-  ro.topo = s->topo;
-  ro.seed = seed;
-  const run_report rep = run_dissemination(s->prob, ro);
-  std::printf("scenario           %s\n", s->name.c_str());
+  std::fprintf(stderr, "%zu algorithm(s)\n",
+               protocol_registry::instance().entries().size());
+  return 0;
+}
+
+int cmd_list_adversaries() {
+  for (const adversary_entry& e : adversary_registry::instance().entries()) {
+    std::printf("%-28s %s\n", e.name.c_str(), e.summary.c_str());
+  }
+  std::fprintf(stderr, "%zu adversar(ies)\n",
+               adversary_registry::instance().entries().size());
+  return 0;
+}
+
+void print_report(const std::string& label, const run_report& rep) {
+  const session_metrics& m = rep.metrics;
+  std::printf("scenario           %s\n", label.c_str());
+  std::printf("algorithm          %s\n", rep.algorithm_name.c_str());
+  std::printf("adversary          %s\n", rep.adversary_name.c_str());
   std::printf("seed               %llu\n",
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(rep.seed));
   std::printf("rounds             %llu\n",
               static_cast<unsigned long long>(rep.rounds));
   std::printf("completion_round   %llu\n",
               static_cast<unsigned long long>(rep.completion_round));
+  std::printf("observed_complete  %llu\n",
+              static_cast<unsigned long long>(m.observed_completion_round));
   std::printf("complete           %s\n", rep.complete ? "true" : "false");
   std::printf("max_message_bits   %zu\n", rep.max_message_bits);
   std::printf("epochs             %zu\n", rep.epochs);
+  std::printf("total_messages     %zu\n", m.total_messages);
+  std::printf("total_message_bits %zu\n", m.total_message_bits);
+  std::printf("rounds_w_traffic   %llu\n",
+              static_cast<unsigned long long>(m.rounds_with_traffic));
+  std::printf("final_knowledge    min=%zu total=%zu retired=%zu\n",
+              m.final_min_knowledge, m.final_total_knowledge,
+              m.final_tokens_retired);
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string name;  // scenario-name mode when non-empty
+  std::string alg;
+  std::string topo;
+  std::uint64_t seed = 1;
+  param_map params;
+  bool trace = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ncdn-run: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      const char* p = next("--seed");
+      if (p == nullptr || !parse_u64(p, seed)) {
+        std::fprintf(stderr, "ncdn-run: --seed needs an integer\n");
+        return 2;
+      }
+    } else if (arg == "--alg") {
+      const char* p = next("--alg");
+      if (p == nullptr) return 2;
+      alg = p;
+    } else if (arg == "--topo") {
+      const char* p = next("--topo");
+      if (p == nullptr) return 2;
+      topo = p;
+    } else if (arg == "--param") {
+      const char* p = next("--param");
+      if (p == nullptr) return 2;
+      const char* eq = std::strchr(p, '=');
+      if (eq == nullptr || eq == p) {
+        std::fprintf(stderr, "ncdn-run: --param needs KEY=VALUE, got '%s'\n",
+                     p);
+        return 2;
+      }
+      params[std::string(p, eq)] = std::string(eq + 1);
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
+      name = arg;
+    } else {
+      std::fprintf(stderr, "ncdn-run: unknown run option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  problem prob;
+  std::string label;
+  if (!name.empty()) {
+    if (!alg.empty() || !topo.empty()) {
+      std::fprintf(stderr,
+                   "ncdn-run: give either a scenario NAME or --alg/--topo, "
+                   "not both\n");
+      return 2;
+    }
+    const scenario* s = find_scenario(name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "ncdn-run: unknown scenario '%s' (try `list`)\n",
+                   name.c_str());
+      return 2;
+    }
+    prob = s->prob;
+    alg = s->alg;
+    topo = s->adv;
+    label = s->name;
+  } else {
+    if (alg.empty() || topo.empty()) {
+      std::fprintf(stderr,
+                   "ncdn-run: need a scenario NAME or both --alg and "
+                   "--topo (see list-algorithms / list-adversaries)\n");
+      return 2;
+    }
+    // Ad-hoc defaults: the registry's bread-and-butter cell sizing.  Any
+    // of these can be reshaped via --param (n=, k=, b=, t_stability=, ...).
+    prob.n = 16;
+    prob.k = 16;
+    prob.d = 8;
+    prob.b = 32;
+    label = alg + "/" + topo;
+  }
+
+  try {
+    session s(prob, protocol_spec{alg, params}, adversary_spec{topo, params},
+              seed);
+    if (trace) {
+      s.set_observer([](const round_metrics& m) {
+        std::printf("round %6llu  know %zu..%zu (sum %zu)  msgs %zu  "
+                    "bits %zu  retired %zu%s\n",
+                    static_cast<unsigned long long>(m.round), m.min_knowledge,
+                    m.max_knowledge, m.total_knowledge, m.messages,
+                    m.message_bits, m.tokens_retired,
+                    m.silent ? "  (silent)" : "");
+      });
+    }
+    const run_report& rep = s.run_to_completion();
+    print_report(label, rep);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
   return 0;
 }
 
@@ -205,22 +346,15 @@ int main(int argc, char** argv) {
   if (cmd == "list") {
     return cmd_list(argc >= 3 ? argv[2] : "");
   }
+  if (cmd == "list-algorithms") {
+    return cmd_list_algorithms();
+  }
+  if (cmd == "list-adversaries") {
+    return cmd_list_adversaries();
+  }
   if (cmd == "run") {
     if (argc < 3) return usage(argv[0]);
-    std::uint64_t seed = 1;
-    for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-        if (!parse_u64(argv[++i], seed)) {
-          std::fprintf(stderr, "ncdn-run: --seed needs an integer, got '%s'\n",
-                       argv[i]);
-          return 2;
-        }
-      } else {
-        std::fprintf(stderr, "ncdn-run: unknown run option '%s'\n", argv[i]);
-        return 2;
-      }
-    }
-    return cmd_run(argv[2], seed);
+    return cmd_run(argc - 2, argv + 2);
   }
   if (cmd == "sweep") {
     return cmd_sweep(argc - 2, argv + 2);
