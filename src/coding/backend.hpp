@@ -1,0 +1,90 @@
+// Coding backends: pluggable strategies for how a node combines its
+// received basis into outgoing coded packets and how it eliminates
+// arrivals (paper §5.1 codes densely over everything; practical RLNC
+// systems trade a few extra rounds for far cheaper elimination — see
+// sparsenc's sparse/GG/BD decoders, Firooz & Roy, Costa et al.).
+//
+// Three built-ins:
+//   dense      — the paper's random GF(2) combination over the whole
+//                received span (coin per basis row).  Bit-identical to the
+//                historical rlnc_session path: same draws, same order.
+//   sparse     — each basis row enters the combination with independent
+//                Bernoulli density rho instead of 1/2.  Fewer XORs per
+//                emitted packet, more rounds to mix.
+//   generation — tokens are partitioned into generations of size g with a
+//                width-w band overlap; nodes code only within a generation
+//                and decode generation-by-generation with batched gf2_rref
+//                (sparsenc's GG/BD shape).  Elimination never touches more
+//                than g+w pivots and rows are stored narrow, so decode cost
+//                drops from O(k)-wide to O(g)-wide.
+//
+// The wire format is shared: every backend emits full-width rows
+// [k coefficients | payload], so message sizing, the network budget, and
+// the session metrics are backend-independent; only who XORs what changes.
+// All backends report cumulative 64-bit XOR word-operations — the
+// decode-cost axis sweeps trade rounds against (round_metrics
+// elimination_xors).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "linalg/decoder.hpp"
+
+namespace ncdn {
+
+/// Per-node coding state.  Rows are full-width [coeff_dim | payload_bits]
+/// wire rows; how they are stored and eliminated is the backend's business.
+class node_coder {
+ public:
+  virtual ~node_coder() = default;
+
+  /// Folds a received wire row into the node's state.
+  virtual void insert(const bitvec& row) = 0;
+
+  /// Draws this round's outgoing wire row (nullopt while nothing has been
+  /// received; a zero row is a legal draw, as in the dense path).
+  virtual std::optional<bitvec> make_combination(rng& r) = 0;
+
+  /// Knowledge exposed to the adaptive adversary: received-span rank for
+  /// the full-span backends, decodable-token count for generation coding
+  /// (monotone in both cases; == items iff complete).
+  virtual std::size_t rank() const = 0;
+  virtual bool complete() const = 0;
+
+  virtual bool can_decode(std::size_t i) const = 0;
+  /// Payload of token i; requires can_decode(i).
+  virtual bitvec decode(std::size_t i) const = 0;
+
+  /// Cumulative XOR word-ops spent eliminating and combining.
+  virtual std::uint64_t xor_word_ops() const = 0;
+
+  /// The single full-span decoder, when the backend keeps one (dense and
+  /// sparse do; generation coding returns nullptr).
+  virtual const bit_decoder* dense_decoder() const { return nullptr; }
+};
+
+/// Factory of per-node coders for one (items, item_bits) instance.
+class coding_backend {
+ public:
+  virtual ~coding_backend() = default;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<node_coder> make_node_coder(
+      std::size_t items, std::size_t item_bits) const = 0;
+};
+
+/// The paper's dense GF(2) RLNC (the default; draw-for-draw identical to
+/// the pre-backend rlnc_session).
+std::unique_ptr<coding_backend> make_dense_backend();
+
+/// Sparse RLNC with Bernoulli inclusion density rho in (0, 1].
+std::unique_ptr<coding_backend> make_sparse_backend(double rho);
+
+/// Generation/band coding: generations of `gen_size` tokens, consecutive
+/// generations sharing a `band_overlap`-token band (band_overlap <=
+/// gen_size; 0 = disjoint generations).
+std::unique_ptr<coding_backend> make_generation_backend(
+    std::size_t gen_size, std::size_t band_overlap);
+
+}  // namespace ncdn

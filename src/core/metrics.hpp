@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dynnet/graph.hpp"
@@ -37,6 +38,15 @@ struct round_metrics {
   // for protocols that do not use the shared token_state bookkeeping.
   std::size_t tokens_retired = 0;
 
+  // Decode cost this round: XOR word-operations spent in Gaussian
+  // elimination and combination generation, summed over nodes (the
+  // knowledge_view's coding_work delta).  This is the axis the sparse and
+  // generation coding backends trade rounds against.  Exact for protocols
+  // with one long-lived coding view (the rlnc-* family); for multi-phase
+  // protocols that swap views, each fresh view's accumulated work lands on
+  // the round it first appears.
+  std::uint64_t elimination_xors = 0;
+
   bool all_complete(std::size_t k) const noexcept {
     return !knowledge.empty() && min_knowledge >= k;
   }
@@ -54,6 +64,7 @@ struct session_metrics {
   std::size_t final_min_knowledge = 0;
   std::size_t final_total_knowledge = 0;
   std::size_t final_tokens_retired = 0;
+  std::uint64_t total_elimination_xors = 0;  // summed round elimination_xors
 };
 
 }  // namespace ncdn

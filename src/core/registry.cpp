@@ -1,10 +1,12 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
+#include "coding/backend.hpp"
 #include "protocols/centralized.hpp"
 #include "protocols/flooding.hpp"
 #include "protocols/greedy_forward.hpp"
@@ -199,6 +201,42 @@ std::unique_ptr<protocol_driver> priority_factory(const problem& prob,
   });
 }
 
+// Shared driver for the standalone indexed-broadcast family (rlnc-direct /
+// rlnc-sparse / rlnc-gen): global indexing granted, every node seeds its
+// initial tokens, everyone broadcasts backend-drawn combinations until all
+// nodes decode (or the Las-Vegas cap trips).
+std::unique_ptr<protocol_driver> coded_broadcast_factory(
+    const problem& prob, const char* name,
+    std::function<std::unique_ptr<coding_backend>()> backend,
+    std::function<round_t(std::size_t n, std::size_t k)> cap) {
+  // Messages cost k + d bits, so b must be at least (k + d) / 2 to fit the
+  // network's O(b) budget.
+  if (2 * prob.b < prob.k + prob.d) {
+    throw std::invalid_argument(std::string("ncdn: ") + name +
+                                " needs b >= (k + d) / 2 (k+d-bit coded "
+                                "messages must fit the O(b) budget)");
+  }
+  return make_protocol_driver([backend = std::move(backend),
+                               cap = std::move(cap)](session_env& env) {
+    const token_distribution& dist = env.dist;
+    NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
+    rlnc_session coding(env.prob.n, dist.k(), env.prob.d, backend());
+    for (node_id u = 0; u < env.prob.n; ++u) {
+      for (std::size_t t : dist.held_by_node[u]) {
+        coding.seed(u, t, dist.tokens[t].payload);
+      }
+    }
+    const round_t rounds_cap = cap(env.prob.n, dist.k());
+    const round_t used = coding.run(env.net, rounds_cap, /*stop_early=*/true);
+    protocol_result res;
+    res.rounds = used;
+    res.complete = coding.all_complete();
+    res.completion_round = res.complete ? used : 0;
+    res.max_message_bits = env.net.max_observed_message_bits();
+    return res;
+  });
+}
+
 std::unique_ptr<protocol_driver> tstable_factory(const problem& prob,
                                                  param_reader& params,
                                                  tstable_engine engine) {
@@ -319,40 +357,75 @@ void register_builtin_protocols(protocol_registry& reg) {
            "Lemma 5.3 indexed broadcast standalone (indexing granted)",
            algorithm::rlnc_direct,
            [](const problem& prob, param_reader& params) {
-             // Messages cost k + d bits, so b must be at least (k + d) / 2
-             // to fit the network's O(b) budget.
-             if (2 * prob.b < prob.k + prob.d) {
+             const double cap_factor = params.real("cap_factor", 16.0);
+             // Whp bound is O(n + k); the cap only guards the 2^-n tail.
+             return coded_broadcast_factory(
+                 prob, "rlnc-direct",
+                 [] { return make_dense_backend(); },
+                 [cap_factor](std::size_t n, std::size_t k) {
+                   return static_cast<round_t>(
+                              cap_factor * static_cast<double>(n + k)) +
+                          64;
+                 });
+           }});
+  // Registry-only backends (no legacy enum): the density/delay trade-offs
+  // of practical RLNC (sparsenc; Firooz & Roy; Costa et al.).
+  reg.add({"rlnc-sparse",
+           "indexed broadcast, sparse combinations (Bernoulli rho) [rho]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params) {
+             const double rho = params.real("rho", 0.2);
+             if (!(rho > 0.0 && rho <= 1.0)) {
                throw std::invalid_argument(
-                   "ncdn: rlnc-direct needs b >= (k + d) / 2 (k+d-bit coded "
-                   "messages must fit the O(b) budget)");
+                   "ncdn: rlnc-sparse needs rho in (0, 1]");
              }
              const double cap_factor = params.real("cap_factor", 16.0);
-             return make_protocol_driver([cap_factor](session_env& env) {
-               // Global indexing is granted (indices in the sorted
-               // distribution), every node seeds its initial tokens, and
-               // everyone broadcasts random GF(2) combinations until all
-               // decoders are full rank.
-               const token_distribution& dist = env.dist;
-               NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
-               rlnc_session coding(env.prob.n, dist.k(), env.prob.d);
-               for (node_id u = 0; u < env.prob.n; ++u) {
-                 for (std::size_t t : dist.held_by_node[u]) {
-                   coding.seed(u, t, dist.tokens[t].payload);
-                 }
-               }
-               // Whp bound is O(n + k); the cap only guards the 2^-n tail.
-               const round_t cap =
-                   static_cast<round_t>(cap_factor * static_cast<double>(
-                                                         env.prob.n + dist.k())) +
-                   64;
-               const round_t used = coding.run(env.net, cap, /*stop_early=*/true);
-               protocol_result res;
-               res.rounds = used;
-               res.complete = coding.all_complete();
-               res.completion_round = res.complete ? used : 0;
-               res.max_message_bits = env.net.max_observed_message_bits();
-               return res;
-             });
+             // Per-round mixing slows by roughly rho / (1/2); widen the
+             // Las-Vegas cap accordingly so small densities still finish.
+             const double stretch = std::max(1.0, 0.5 / rho);
+             return coded_broadcast_factory(
+                 prob, "rlnc-sparse",
+                 [rho] { return make_sparse_backend(rho); },
+                 [cap_factor, stretch](std::size_t n, std::size_t k) {
+                   return static_cast<round_t>(
+                              cap_factor * stretch *
+                              static_cast<double>(n + k)) +
+                          64;
+                 });
+           }});
+  reg.add({"rlnc-gen",
+           "indexed broadcast, generation/band coding [gen_size, "
+           "band_overlap]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params) {
+             const std::size_t gen_size = params.size("gen_size", 16);
+             if (gen_size < 1) {
+               throw std::invalid_argument(
+                   "ncdn: rlnc-gen needs gen_size >= 1");
+             }
+             const std::size_t overlap =
+                 params.size("band_overlap", std::min<std::size_t>(4, gen_size));
+             if (overlap > gen_size) {
+               throw std::invalid_argument(
+                   "ncdn: rlnc-gen needs band_overlap <= gen_size");
+             }
+             const double cap_factor = params.real("cap_factor", 16.0);
+             return coded_broadcast_factory(
+                 prob, "rlnc-gen",
+                 [gen_size, overlap] {
+                   return make_generation_backend(gen_size, overlap);
+                 },
+                 [cap_factor, gen_size, overlap](std::size_t n,
+                                                 std::size_t k) {
+                   // Bandwidth splits across G generations; each needs its
+                   // own O(n + g + w) broadcast worth of rounds.
+                   const std::size_t gens = (k + gen_size - 1) / gen_size;
+                   return static_cast<round_t>(
+                              cap_factor *
+                              static_cast<double>(
+                                  gens * (n + gen_size + overlap) + k)) +
+                          64;
+                 });
            }});
 }
 

@@ -147,10 +147,26 @@ void session::collect(const round_digest& digest) {
       retired += state_->known_count(u) - state_->remaining_count(u);
     }
     scratch_.tokens_retired = retired;
+
+    // Decode-cost delta.  Work counters are cumulative per view; a view
+    // swap (multi-phase protocols hand the engine a fresh coding session)
+    // charges the new view's accumulated work to this round.  Keyed on
+    // view_id — per-object counters are monotone, so same id means the
+    // delta is exact.
+    const std::uint64_t w = digest.view->coding_work();
+    const std::uint64_t id = digest.view->view_id();
+    scratch_.elimination_xors =
+        id == last_work_view_id_ ? w - last_work_ : w;
+    last_work_view_id_ = id;
+    last_work_ = w;
+    metrics_.total_elimination_xors += scratch_.elimination_xors;
+  } else {
+    // Silent round: nothing can change while everyone stays quiet, so
+    // scratch_ keeps the previous round's knowledge snapshot and
+    // aggregates untouched — long T-stable waits stay O(1) per round, not
+    // O(n).  No elimination happens either.
+    scratch_.elimination_xors = 0;
   }
-  // Silent round: nothing can change while everyone stays quiet, so
-  // scratch_ keeps the previous round's knowledge snapshot and aggregates
-  // untouched — long T-stable waits stay O(1) per round, not O(n).
 
   metrics_.rounds = digest.round;
   if (digest.messages > 0) ++metrics_.rounds_with_traffic;

@@ -101,6 +101,12 @@ class session {
   observer_fn observer_;
   round_metrics scratch_;  // reused snapshot buffer
   std::vector<std::size_t> last_knowledge_;
+  // coding_work delta tracking (see round_metrics::elimination_xors): the
+  // counters are cumulative per view, so remember which view we last read
+  // — by view_id, not address, so a phase's fresh view reusing a freed
+  // view's storage cannot inherit its counter.
+  std::uint64_t last_work_view_id_ = 0;  // 0 = none yet
+  std::uint64_t last_work_ = 0;
   session_metrics metrics_;
   run_report report_;
   bool finished_ = false;

@@ -9,6 +9,8 @@
 // directly.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -24,9 +26,32 @@ namespace ncdn {
 /// forwarding protocols it is the number of tokens u knows.
 class knowledge_view {
  public:
+  knowledge_view() : view_id_(next_id()) {}
+  // Copies are distinct accounting entities (fresh id); assignment keeps
+  // the target's identity.
+  knowledge_view(const knowledge_view&) : view_id_(next_id()) {}
+  knowledge_view& operator=(const knowledge_view&) { return *this; }
   virtual ~knowledge_view() = default;
   virtual std::size_t node_count() const = 0;
   virtual std::size_t knowledge(node_id u) const = 0;
+
+  /// Cumulative decode work (XOR word-ops) behind this view, for the
+  /// session's per-round elimination accounting.  Coding views report
+  /// their decoders' counters; state with no elimination cost reports 0.
+  virtual std::uint64_t coding_work() const { return 0; }
+
+  /// Process-unique identity (never 0).  The session keys its coding_work
+  /// deltas on this rather than the address: a protocol phase's fresh view
+  /// allocated where a freed one lived must not inherit its counter.
+  std::uint64_t view_id() const noexcept { return view_id_; }
+
+ private:
+  static std::uint64_t next_id() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t view_id_;
 };
 
 /// Trivial view for protocol phases with no adversary-relevant state.

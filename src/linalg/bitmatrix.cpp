@@ -4,23 +4,33 @@
 
 namespace ncdn {
 
-std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows) {
+std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows,
+                                  std::uint64_t* xor_words) {
   std::vector<bitvec> reduced;
   std::vector<std::size_t> pivots;
+  std::uint64_t work = 0;
   for (bitvec& row : rows) {
+    const std::uint64_t w = row.words().size();
     // Forward-eliminate against the reduced set.
     for (std::size_t i = 0; i < reduced.size(); ++i) {
-      if (row.get(pivots[i])) row.xor_with(reduced[i]);
+      if (row.get(pivots[i])) {
+        row.xor_with(reduced[i]);
+        work += w;
+      }
     }
     const std::size_t p = row.first_set();
     if (p == row.size()) continue;  // dependent
     // Back-eliminate the new pivot from existing rows.
     for (std::size_t i = 0; i < reduced.size(); ++i) {
-      if (reduced[i].get(p)) reduced[i].xor_with(row);
+      if (reduced[i].get(p)) {
+        reduced[i].xor_with(row);
+        work += w;
+      }
     }
     reduced.push_back(std::move(row));
     pivots.push_back(p);
   }
+  if (xor_words != nullptr) *xor_words += work;
   // Sort rows by pivot for a canonical RREF.
   std::vector<std::size_t> order(reduced.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -4,6 +4,7 @@
 // rank growth), and one-shot rank computations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/bitvec.hpp"
@@ -15,7 +16,11 @@ std::size_t gf2_rank(std::vector<bitvec> rows);
 
 /// In-place reduced row echelon form; zero rows are dropped.
 /// Returns pivot column of each remaining row, in increasing order.
-std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows);
+/// When `xor_words` is non-null it is incremented by the 64-bit XOR
+/// word-operations the elimination performed (the generation-coding
+/// backend charges its batched decodes through this).
+std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows,
+                                  std::uint64_t* xor_words = nullptr);
 
 /// True iff `v` lies in the span of `basis` (basis need not be reduced).
 bool gf2_in_span(const std::vector<bitvec>& basis, const bitvec& v);

@@ -95,6 +95,23 @@ class bitvec {
     return c;
   }
 
+  /// Number of set bits in [0, upto) — e.g. the coefficient part of a
+  /// [coefficients | payload] row, without slicing it out.
+  std::size_t popcount_below(std::size_t upto) const noexcept {
+    NCDN_EXPECTS(upto <= bits_);
+    std::size_t c = 0;
+    const std::size_t full = upto >> 6;
+    for (std::size_t w = 0; w < full; ++w) {
+      c += static_cast<std::size_t>(std::popcount(words_[w]));
+    }
+    const std::size_t tail = upto & 63;
+    if (tail != 0) {
+      c += static_cast<std::size_t>(
+          std::popcount(words_[full] & ((1ULL << tail) - 1)));
+    }
+    return c;
+  }
+
   /// Dot product over GF(2): parity of AND, word-parallel (AND words,
   /// XOR-fold, popcount parity).  Sizes may differ: the shorter vector is
   /// treated as zero-extended, so dotting a k-bit mask against a longer
@@ -116,13 +133,35 @@ class bitvec {
   }
 
   /// Copies bits [src_begin, src_begin+len) of `src` into positions starting
-  /// at dst_begin of this vector.
+  /// at dst_begin of this vector.  Word-parallel (shift/mask, up to 64 bits
+  /// per step) — this sits under every slice() and rlnc_session::seed, where
+  /// the old bit-at-a-time loop dominated.  `src` may be *this only when the
+  /// two ranges do not overlap.
   void copy_bits_from(const bitvec& src, std::size_t src_begin,
                       std::size_t len, std::size_t dst_begin) noexcept {
     NCDN_EXPECTS(src_begin + len <= src.size());
     NCDN_EXPECTS(dst_begin + len <= bits_);
-    for (std::size_t i = 0; i < len; ++i) {
-      set(dst_begin + i, src.get(src_begin + i));
+    std::size_t sbit = src_begin;
+    std::size_t dbit = dst_begin;
+    std::size_t remaining = len;
+    while (remaining > 0) {
+      const std::size_t dw = dbit >> 6;
+      const std::size_t doff = dbit & 63;
+      const std::size_t chunk = std::min<std::size_t>(remaining, 64 - doff);
+      // Gather up to 64 source bits starting at sbit (bits past the last
+      // source word read as zero; only the low `chunk` bits are used).
+      const std::size_t sw = sbit >> 6;
+      const std::size_t soff = sbit & 63;
+      std::uint64_t v = src.words_[sw] >> soff;
+      if (soff != 0 && sw + 1 < src.words_.size()) {
+        v |= src.words_[sw + 1] << (64 - soff);
+      }
+      const std::uint64_t keep =
+          chunk == 64 ? ~0ULL : ((1ULL << chunk) - 1);
+      words_[dw] = (words_[dw] & ~(keep << doff)) | ((v & keep) << doff);
+      sbit += chunk;
+      dbit += chunk;
+      remaining -= chunk;
     }
   }
 

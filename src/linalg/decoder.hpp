@@ -33,7 +33,9 @@ class bit_decoder {
  public:
   bit_decoder() = default;
   bit_decoder(std::size_t coeff_dim, std::size_t payload_bits)
-      : coeff_dim_(coeff_dim), payload_bits_(payload_bits) {}
+      : coeff_dim_(coeff_dim),
+        payload_bits_(payload_bits),
+        pivot_row_(coeff_dim, npos) {}
 
   std::size_t coeff_dim() const noexcept { return coeff_dim_; }
   std::size_t payload_bits() const noexcept { return payload_bits_; }
@@ -47,8 +49,12 @@ class bit_decoder {
   /// violating rows indicate corrupted input and trip a contract.
   bool insert(bitvec row) {
     NCDN_EXPECTS(row.size() == row_bits());
+    const std::size_t w = row.words().size();
     for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (row.get(pivots_[i])) row.xor_with(rows_[i]);
+      if (row.get(pivots_[i])) {
+        row.xor_with(rows_[i]);
+        xor_words_ += w;
+      }
     }
     const std::size_t p = row.first_set();
     if (p >= coeff_dim_) {
@@ -56,8 +62,12 @@ class bit_decoder {
       return false;
     }
     for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (rows_[i].get(p)) rows_[i].xor_with(row);
+      if (rows_[i].get(p)) {
+        rows_[i].xor_with(row);
+        xor_words_ += w;
+      }
     }
+    pivot_row_[p] = rows_.size();
     rows_.push_back(std::move(row));
     pivots_.push_back(p);
     return true;
@@ -69,7 +79,26 @@ class bit_decoder {
     if (rows_.empty()) return std::nullopt;
     bitvec out(row_bits());
     for (const bitvec& row : rows_) {
-      if (r.coin()) out.xor_with(row);
+      if (r.coin()) {
+        out.xor_with(row);
+        xor_words_ += out.words().size();
+      }
+    }
+    return out;
+  }
+
+  /// Sparse-RLNC combination: each basis row is included with independent
+  /// probability `rho` instead of 1/2 (Firooz & Roy's density/delay
+  /// trade-off; sparsenc's `density` knob).  Draws one RNG value per basis
+  /// row, like random_combination, but from the Bernoulli stream.
+  std::optional<bitvec> sparse_combination(rng& r, double rho) const {
+    if (rows_.empty()) return std::nullopt;
+    bitvec out(row_bits());
+    for (const bitvec& row : rows_) {
+      if (r.bernoulli(rho)) {
+        out.xor_with(row);
+        xor_words_ += out.words().size();
+      }
     }
     return out;
   }
@@ -87,28 +116,23 @@ class bit_decoder {
   }
 
   /// True iff token i is decodable right now (e_i in the coefficient span).
+  /// O(row words) via the pivot->row index and an in-place coefficient
+  /// popcount — no O(rank) scan, no heap-allocating slice.
   bool can_decode(std::size_t i) const {
     NCDN_EXPECTS(i < coeff_dim_);
-    // In RREF: e_i is in the span iff some row has pivot i and that row's
-    // other coefficient entries are zero.
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      if (pivots_[r] == i) {
-        const bitvec coeff = rows_[r].slice(0, coeff_dim_);
-        return coeff.popcount() == 1;
-      }
-    }
-    return false;
+    // In RREF: e_i is in the span iff the row pivoting on i has no other
+    // coefficient entries.
+    const std::size_t r = pivot_row_[i];
+    if (r == npos) return false;
+    return rows_[r].popcount_below(coeff_dim_) == 1;
   }
 
-  /// Payload of token i; requires complete().
+  /// Payload of token i; requires can_decode(i).  (complete() implies every
+  /// token is decodable, so the historical decode-after-completion callers
+  /// satisfy this unchanged; per-token early decode is now legal too.)
   bitvec decode(std::size_t i) const {
-    NCDN_EXPECTS(complete());
-    NCDN_EXPECTS(i < coeff_dim_);
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      if (pivots_[r] == i) return rows_[r].slice(coeff_dim_, payload_bits_);
-    }
-    NCDN_ASSERT(false);
-    return bitvec{};
+    NCDN_EXPECTS(can_decode(i));
+    return rows_[pivot_row_[i]].slice(coeff_dim_, payload_bits_);
   }
 
   /// True iff `row` is already in the received span (non-mutating).
@@ -122,18 +146,29 @@ class bit_decoder {
 
   const std::vector<bitvec>& basis() const noexcept { return rows_; }
 
+  /// Cumulative 64-bit XOR word-operations spent in Gaussian elimination
+  /// (insert) and combination generation — the decode-cost axis the sparse
+  /// and generation backends trade rounds against.
+  std::uint64_t xor_word_ops() const noexcept { return xor_words_; }
+
   void reset(std::size_t coeff_dim, std::size_t payload_bits) {
     coeff_dim_ = coeff_dim;
     payload_bits_ = payload_bits;
     rows_.clear();
     pivots_.clear();
+    pivot_row_.assign(coeff_dim, npos);
+    xor_words_ = 0;
   }
 
  private:
+  static constexpr std::size_t npos = ~std::size_t{0};
+
   std::size_t coeff_dim_ = 0;
   std::size_t payload_bits_ = 0;
   std::vector<bitvec> rows_;      // maintained in RREF (unordered by pivot)
   std::vector<std::size_t> pivots_;
+  std::vector<std::size_t> pivot_row_;  // pivot column -> index into rows_
+  mutable std::uint64_t xor_words_ = 0;  // stats only; const combiners count
 };
 
 /// Generic-field incremental decoder; rows are symbol vectors

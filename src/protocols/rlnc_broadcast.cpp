@@ -4,21 +4,29 @@ namespace ncdn {
 
 rlnc_session::rlnc_session(std::size_t n, std::size_t items,
                            std::size_t item_bits)
-    : items_(items),
-      item_bits_(item_bits),
-      decoders_(n, bit_decoder(items, item_bits)) {
+    : rlnc_session(n, items, item_bits, make_dense_backend()) {}
+
+rlnc_session::rlnc_session(std::size_t n, std::size_t items,
+                           std::size_t item_bits,
+                           std::unique_ptr<coding_backend> backend)
+    : items_(items), item_bits_(item_bits), backend_(std::move(backend)) {
   NCDN_EXPECTS(items >= 1);
   NCDN_EXPECTS(item_bits >= 1);
+  NCDN_EXPECTS(backend_ != nullptr);
+  coders_.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    coders_.push_back(backend_->make_node_coder(items, item_bits));
+  }
 }
 
 void rlnc_session::seed(node_id u, std::size_t index, const bitvec& payload) {
-  NCDN_EXPECTS(u < decoders_.size());
+  NCDN_EXPECTS(u < coders_.size());
   NCDN_EXPECTS(index < items_);
   NCDN_EXPECTS(payload.size() == item_bits_);
   bitvec row(items_ + item_bits_);
   row.set(index);
   row.copy_bits_from(payload, 0, item_bits_, items_);
-  decoders_[u].insert(std::move(row));
+  coders_[u]->insert(row);
 }
 
 round_t rlnc_session::run(network& net, round_t max_rounds, bool stop_early) {
@@ -28,20 +36,20 @@ round_t rlnc_session::run(network& net, round_t max_rounds, bool stop_early) {
     net.step<coded_msg>(
         *this,
         [&](node_id u, rng& r) -> std::optional<coded_msg> {
-          auto combo = decoders_[u].random_combination(r);
+          auto combo = coders_[u]->make_combination(r);
           if (!combo) return std::nullopt;
           return coded_msg{std::move(*combo)};
         },
         [&](node_id u, const std::vector<const coded_msg*>& inbox) {
-          for (const coded_msg* m : inbox) decoders_[u].insert(m->row);
+          for (const coded_msg* m : inbox) coders_[u]->insert(m->row);
         });
   }
   return used;
 }
 
 bool rlnc_session::all_complete() const {
-  for (const auto& d : decoders_) {
-    if (!d.complete()) return false;
+  for (const auto& c : coders_) {
+    if (!c->complete()) return false;
   }
   return true;
 }

@@ -12,6 +12,9 @@
 // field-size experiments and the derandomization machinery of §6.
 #pragma once
 
+#include <memory>
+
+#include "coding/backend.hpp"
 #include "coding/token.hpp"
 #include "dynnet/network.hpp"
 #include "gf/field.hpp"
@@ -25,13 +28,20 @@ struct coded_msg {
   std::size_t bit_size() const noexcept { return row.size(); }
 };
 
-/// One indexed-broadcast instance over GF(2); per-node incremental decoders.
+/// One indexed-broadcast instance over GF(2); per-node coders supplied by a
+/// coding_backend (dense by default, draw-for-draw identical to the
+/// pre-backend session; see coding/backend.hpp for sparse and
+/// generation/band coding).
 class rlnc_session final : public knowledge_view {
  public:
+  /// Dense backend (the paper's §5.1 path).
   rlnc_session(std::size_t n, std::size_t items, std::size_t item_bits);
+  rlnc_session(std::size_t n, std::size_t items, std::size_t item_bits,
+               std::unique_ptr<coding_backend> backend);
 
   std::size_t items() const noexcept { return items_; }
   std::size_t item_bits() const noexcept { return item_bits_; }
+  const coding_backend& backend() const noexcept { return *backend_; }
 
   /// Gives node u the original item `index` (inserts [e_index | payload]).
   void seed(node_id u, std::size_t index, const bitvec& payload);
@@ -41,20 +51,45 @@ class rlnc_session final : public knowledge_view {
   round_t run(network& net, round_t max_rounds, bool stop_early);
 
   bool all_complete() const;
-  bool node_complete(node_id u) const { return decoders_[u].complete(); }
-  const bit_decoder& decoder(node_id u) const { return decoders_[u]; }
+  bool node_complete(node_id u) const { return coders_[u]->complete(); }
+
+  /// Backend-independent decode surface.
+  bool can_decode(node_id u, std::size_t i) const {
+    return coders_[u]->can_decode(i);
+  }
+  bitvec decode(node_id u, std::size_t i) const {
+    return coders_[u]->decode(i);
+  }
+
+  /// The node's full-span decoder; only the backends that keep one (dense,
+  /// sparse) support this — generation coding trips the contract.
+  const bit_decoder& decoder(node_id u) const {
+    const bit_decoder* d = coders_[u]->dense_decoder();
+    NCDN_EXPECTS(d != nullptr);
+    return *d;
+  }
+
+  /// Cumulative elimination/combination XOR word-ops across all nodes.
+  std::uint64_t xor_word_ops() const {
+    std::uint64_t total = 0;
+    for (const auto& c : coders_) total += c->xor_word_ops();
+    return total;
+  }
 
   /// knowledge_view: adaptive adversaries see the rank of each node's span
-  /// (the paper's knowledge-based notion for coding algorithms).
-  std::size_t node_count() const override { return decoders_.size(); }
+  /// (the paper's knowledge-based notion for coding algorithms; decodable
+  /// count for generation coding).
+  std::size_t node_count() const override { return coders_.size(); }
   std::size_t knowledge(node_id u) const override {
-    return decoders_[u].rank();
+    return coders_[u]->rank();
   }
+  std::uint64_t coding_work() const override { return xor_word_ops(); }
 
  private:
   std::size_t items_;
   std::size_t item_bits_;
-  std::vector<bit_decoder> decoders_;
+  std::unique_ptr<coding_backend> backend_;
+  std::vector<std::unique_ptr<node_coder>> coders_;
 };
 
 /// Generic-field variant (field-size sweeps, §6 derandomization).  Payload

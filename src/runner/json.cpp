@@ -223,6 +223,30 @@ class parser {
     }
   }
 
+  /// Reads 4 hex digits of a \u escape; sets ok=false (and the error) on
+  /// truncation or a bad digit.
+  unsigned hex4(parse_result& res, bool& ok) {
+    ok = false;
+    if (pos_ + 4 > s_.size()) {
+      fail(res, "truncated \\u escape");
+      return 0;
+    }
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else {
+        fail(res, "bad hex digit in \\u escape");
+        return 0;
+      }
+    }
+    ok = true;
+    return cp;
+  }
+
   std::string parse_string(parse_result& res) {
     ++pos_;  // opening quote
     std::string out;
@@ -245,31 +269,46 @@ class parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > s_.size()) {
-            fail(res, "truncated \\u escape");
+          bool ok = false;
+          unsigned cp = hex4(res, ok);
+          if (!ok) return out;
+          // UTF-16 surrogate halves are not code points: a high surrogate
+          // must pair with an immediately following \uDC00..\uDFFF low
+          // surrogate (RFC 8259 §7), and an unpaired half of either kind
+          // is an error — the old code emitted it as an invalid 3-byte
+          // UTF-8 sequence.
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail(res, "unpaired low surrogate in \\u escape");
             return out;
           }
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-            else {
-              fail(res, "bad hex digit in \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              fail(res, "unpaired high surrogate in \\u escape");
               return out;
             }
+            pos_ += 2;
+            const unsigned lo = hex4(res, ok);
+            if (!ok) return out;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail(res, "high surrogate not followed by a low surrogate");
+              return out;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
           }
-          // Encode the code point as UTF-8 (surrogate pairs unhandled;
-          // the emitter only produces \u00XX control escapes).
+          // Encode the code point as UTF-8.
           if (cp < 0x80) {
             out.push_back(static_cast<char>(cp));
           } else if (cp < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
             out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }

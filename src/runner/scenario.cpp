@@ -11,6 +11,7 @@ struct proto_spec {
   std::size_t b_bits;
   round_t t_stability;
   std::vector<std::size_t> sizes;  // n (= k: one token per node)
+  param_map params;                // extra spec overrides for every cell
 };
 
 std::vector<scenario> build_registry() {
@@ -26,6 +27,12 @@ std::vector<scenario> build_registry() {
       {"priority-forward/flooding", 32, 1, {16}},
       {"priority-forward/charged", 32, 1, {16}},
       {"rlnc-direct", 32, 1, {16, 32}},
+      // Coding-backend cells (PR3): the density/delay frontier the sparse
+      // and generation backends trade along.  gen_size 8 keeps even n16
+      // multi-generation; rho pinned so the cells stay stable if the
+      // registry default moves.
+      {"rlnc-sparse", 32, 1, {16, 32}, {{"rho", "0.2"}}},
+      {"rlnc-gen", 32, 1, {16, 32}, {{"gen_size", "8"}, {"band_overlap", "2"}}},
       {"centralized-rlnc", 32, 1, {16}},
       {"tstable/auto", 32, 4, {16}},
       // Patching needs a window long enough to build patches and run full
@@ -50,6 +57,7 @@ std::vector<scenario> build_registry() {
         scenario s;
         s.alg = p.name;
         s.adv = adv;
+        s.params = p.params;
         s.prob.n = n;
         s.prob.k = n;
         s.prob.d = 8;

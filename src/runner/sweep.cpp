@@ -140,6 +140,8 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(mo, "final_min_knowledge", m.final_min_knowledge);
     json::put(mo, "final_total_knowledge", m.final_total_knowledge);
     json::put(mo, "final_tokens_retired", m.final_tokens_retired);
+    // v2 addendum (PR3): decode cost, for the rounds-vs-XORs frontier.
+    json::put(mo, "elimination_xors", m.total_elimination_xors);
     json::put(c, "metrics", json::value{std::move(mo)});
     cells.push_back(json::value{std::move(c)});
   }

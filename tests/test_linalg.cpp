@@ -86,6 +86,48 @@ TEST(bitvec, slice_and_copy_roundtrip) {
   for (std::size_t i = 30; i < 100; ++i) EXPECT_EQ(w.get(i), v.get(i));
 }
 
+TEST(bitvec, copy_bits_matches_scalar_reference_exhaustively) {
+  // The word-parallel copy_bits_from (shift/mask word loop) must agree
+  // with the obvious bit-at-a-time loop for every (src_begin, dst_begin)
+  // alignment straddling word boundaries, including chunk lengths around
+  // 1, 63, 64, 65 and full-word multiples.
+  rng r(91);
+  bitvec src(197);
+  src.randomize(r);
+  for (std::size_t src_begin = 0; src_begin <= 130; ++src_begin) {
+    for (std::size_t dst_begin : {0u, 1u, 31u, 62u, 63u, 64u, 65u, 127u,
+                                  128u, 129u}) {
+      for (std::size_t len : {0u, 1u, 7u, 63u, 64u, 65u, 66u}) {
+        if (src_begin + len > src.size()) continue;
+        bitvec got(260);
+        got.randomize(r);  // pre-existing bits outside the window survive
+        bitvec want = got;
+        if (dst_begin + len > got.size()) continue;
+        got.copy_bits_from(src, src_begin, len, dst_begin);
+        for (std::size_t i = 0; i < len; ++i) {
+          want.set(dst_begin + i, src.get(src_begin + i));
+        }
+        ASSERT_EQ(got, want) << "src_begin=" << src_begin
+                             << " dst_begin=" << dst_begin << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(bitvec, popcount_below_counts_only_the_prefix) {
+  bitvec v(190);
+  for (std::size_t i : {0u, 5u, 63u, 64u, 100u, 128u, 189u}) v.set(i);
+  EXPECT_EQ(v.popcount_below(0), 0u);
+  EXPECT_EQ(v.popcount_below(1), 1u);
+  EXPECT_EQ(v.popcount_below(63), 2u);
+  EXPECT_EQ(v.popcount_below(64), 3u);
+  EXPECT_EQ(v.popcount_below(65), 4u);
+  EXPECT_EQ(v.popcount_below(128), 5u);
+  EXPECT_EQ(v.popcount_below(129), 6u);
+  EXPECT_EQ(v.popcount_below(190), 7u);
+  EXPECT_EQ(v.popcount_below(190), v.popcount());
+}
+
 TEST(gf2_batch, rank_of_identity) {
   std::vector<bitvec> rows;
   for (int i = 0; i < 5; ++i) {
@@ -248,6 +290,80 @@ TEST(bit_decoder, rank_is_monotone_and_bounded) {
     EXPECT_LE(dec.rank(), k);
     prev = dec.rank();
   }
+}
+
+TEST(bit_decoder, can_decode_tracks_singletons_via_pivot_index) {
+  // can_decode is now a pivot->row lookup plus an in-place coefficient
+  // popcount (no O(rank) scan, no slice allocation); cross-check it against
+  // the definitional answer at every insertion step.
+  const std::size_t k = 9, d = 130;  // payload spans multiple words
+  rng r(191);
+  std::vector<bitvec> payloads;
+  for (std::size_t i = 0; i < k; ++i) {
+    bitvec p(d);
+    p.randomize(r);
+    payloads.push_back(p);
+  }
+  bit_decoder dec(k, d);
+  // Feed mixed rows: e_0+e_1, e_1, then singles; re-derive expectations
+  // from a reference decoder's RREF each time.
+  std::vector<bitvec> fed;
+  for (std::size_t step = 0; step < 24; ++step) {
+    bitvec row(k + d);
+    const std::size_t a = static_cast<std::size_t>(r.below(k));
+    const std::size_t b = static_cast<std::size_t>(r.below(k));
+    row.set(a);
+    row.copy_bits_from(payloads[a], 0, d, k);
+    if (b != a && r.coin()) {
+      row.flip(b);
+      row.xor_with([&] {
+        bitvec t(k + d);
+        t.copy_bits_from(payloads[b], 0, d, k);
+        return t;
+      }());
+    }
+    dec.insert(row);
+    fed.push_back(row);
+    for (std::size_t i = 0; i < k; ++i) {
+      // Reference: e_i decodable iff [e_i | payload_i] is in the span.
+      bitvec probe(k + d);
+      probe.set(i);
+      probe.copy_bits_from(payloads[i], 0, d, k);
+      EXPECT_EQ(dec.can_decode(i), dec.in_span(probe))
+          << "step " << step << " token " << i;
+    }
+  }
+  // Once complete, decode agrees with the payloads (pivot-index path).
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!dec.complete()) break;
+    EXPECT_EQ(dec.decode(i), payloads[i]);
+  }
+  // reset() clears the pivot index too.
+  dec.reset(k, d);
+  EXPECT_EQ(dec.rank(), 0u);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_FALSE(dec.can_decode(i));
+}
+
+TEST(bit_decoder, counts_elimination_xor_word_ops) {
+  const std::size_t k = 4, d = 64;
+  bit_decoder dec(k, d);
+  EXPECT_EQ(dec.xor_word_ops(), 0u);
+  bitvec r0(k + d);
+  r0.set(0);
+  dec.insert(r0);
+  EXPECT_EQ(dec.xor_word_ops(), 0u);  // first row eliminates against nothing
+  bitvec r01(k + d);
+  r01.set(0);
+  r01.set(1);
+  dec.insert(r01);  // one forward XOR against r0's pivot; no back-elim hits
+  const std::uint64_t row_words = bitvec(k + d).words().size();
+  EXPECT_EQ(dec.xor_word_ops(), row_words);
+  dec.insert(r0);  // duplicate: one forward XOR to reduce to zero... plus
+                   // the elimination against the second row if it hits
+  EXPECT_GE(dec.xor_word_ops(), 2 * row_words);
+  rng r(5);
+  (void)dec.random_combination(r);  // combination XORs are charged too
+  EXPECT_GE(dec.xor_word_ops(), 2 * row_words);
 }
 
 TEST(bit_decoder, senses_definition_5_1) {

@@ -72,6 +72,49 @@ TEST(json, rejects_malformed_documents) {
   EXPECT_TRUE(json::parse("  [1, 2, 3]  ").ok);
 }
 
+TEST(json, surrogate_pairs_decode_to_one_code_point) {
+  // \uD83D\uDE00 is U+1F600 (GRINNING FACE): the pair must combine into a
+  // single 4-byte UTF-8 sequence, not two invalid 3-byte ones.
+  const json::parse_result parsed = json::parse("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.root.as_string(), "\xF0\x9F\x98\x80");
+
+  // Round trip: the emitter passes UTF-8 through verbatim, so dumping the
+  // parsed string and re-parsing reproduces the same code point.
+  const std::string dumped = parsed.root.dump();
+  const json::parse_result again = json::parse(dumped);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.root.as_string(), parsed.root.as_string());
+
+  // Lowercase hex and a supplementary-plane character inside a larger
+  // document round-trip too.
+  const json::parse_result doc =
+      json::parse("{\"s\":\"a\\ud83d\\ude00b\\u00e9\"}");
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_EQ(doc.root.find("s")->as_string(), "a\xF0\x9F\x98\x80"
+                                             "b\xC3\xA9");
+  EXPECT_EQ(json::parse(doc.root.dump()).root.find("s")->as_string(),
+            doc.root.find("s")->as_string());
+}
+
+TEST(json, unpaired_surrogates_are_rejected) {
+  // Lone high surrogate (end of string, non-escape follower, wrong low
+  // half) and lone low surrogate are all invalid (RFC 8259 §7) — the old
+  // parser emitted them as invalid 3-byte UTF-8 instead of failing.
+  EXPECT_FALSE(json::parse("\"\\uD800\"").ok);
+  EXPECT_FALSE(json::parse("\"\\uD800x\"").ok);
+  EXPECT_FALSE(json::parse("\"\\uD800\\n\"").ok);
+  EXPECT_FALSE(json::parse("\"\\uD800\\u0041\"").ok);  // low half missing
+  EXPECT_FALSE(json::parse("\"\\uD800\\uD801\"").ok);  // high + high
+  EXPECT_FALSE(json::parse("\"\\uDC00\"").ok);         // lone low half
+  EXPECT_FALSE(json::parse("\"\\uDFFF\\uD800\"").ok);
+  EXPECT_FALSE(json::parse("\"\\uD83D\\uDE0\"").ok);   // truncated low half
+  // Non-surrogate BMP escapes still work as before.
+  const json::parse_result bmp = json::parse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(bmp.ok) << bmp.error;
+  EXPECT_EQ(bmp.root.as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
 TEST(scenario_registry, meets_sweep_coverage_floors) {
   const std::vector<scenario>& all = scenario_registry();
   EXPECT_GE(all.size(), 24u);

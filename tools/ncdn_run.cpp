@@ -117,6 +117,8 @@ void print_report(const std::string& label, const run_report& rep) {
   std::printf("final_knowledge    min=%zu total=%zu retired=%zu\n",
               m.final_min_knowledge, m.final_total_knowledge,
               m.final_tokens_retired);
+  std::printf("elimination_xors   %llu\n",
+              static_cast<unsigned long long>(m.total_elimination_xors));
 }
 
 int cmd_run(int argc, char** argv) {
