@@ -20,6 +20,9 @@ namespace ncdn {
 // --- param_reader -----------------------------------------------------------
 
 const std::string* param_reader::raw(const std::string& key) {
+  bool asked = false;
+  for (const std::string& q : queried_) asked = asked || q == key;
+  if (!asked) queried_.push_back(key);
   const auto it = params_->find(key);
   if (it == params_->end()) return nullptr;
   bool seen = false;
@@ -92,11 +95,28 @@ std::vector<std::string> param_reader::unconsumed() const {
   return out;
 }
 
+std::vector<std::string> param_reader::recognized() const {
+  std::vector<std::string> out = queried_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string join_keys(const std::vector<std::string>& keys) {
+  std::string out;
+  for (const std::string& key : keys) {
+    if (!out.empty()) out += ", ";
+    out += key;
+  }
+  return out;
+}
+
 void param_reader::expect_fully_consumed() const {
   const std::vector<std::string> left = unconsumed();
   if (left.empty()) return;
   std::string msg = "ncdn: unknown parameter(s) for " + context_ + ":";
   for (const std::string& key : left) msg += " '" + key + "'";
+  const std::vector<std::string> known = recognized();
+  if (!known.empty()) msg += " (valid keys: " + join_keys(known) + ")";
   throw std::invalid_argument(msg);
 }
 
@@ -175,29 +195,29 @@ std::vector<std::string> list_adversary_names() {
 
 namespace {
 
-std::unique_ptr<protocol_driver> flooding_factory(const problem& prob,
-                                                  param_reader& params,
-                                                  bool pipelined) {
+std::unique_ptr<protocol_machine> flooding_factory(const problem& prob,
+                                                   param_reader& params,
+                                                   bool pipelined) {
   flooding_config cfg;
   cfg.b_bits = prob.b;
   cfg.pipelined = pipelined;
   cfg.phase_factor = params.real("phase_factor", cfg.phase_factor);
-  return make_protocol_driver([cfg](session_env& env) {
-    return run_flooding(env.net, env.state, cfg);
+  return make_protocol_machine([cfg](session_env& env) {
+    return flooding_machine(env.net, env.state, cfg);
   });
 }
 
-std::unique_ptr<protocol_driver> priority_factory(const problem& prob,
-                                                  param_reader& params,
-                                                  indexing_mode mode) {
+std::unique_ptr<protocol_machine> priority_factory(const problem& prob,
+                                                   param_reader& params,
+                                                   indexing_mode mode) {
   priority_forward_config cfg;
   cfg.b_bits = prob.b;
   cfg.indexing = mode;
   cfg.broadcast_factor = params.real("broadcast_factor", cfg.broadcast_factor);
   cfg.charged_factor = params.real("charged_factor", cfg.charged_factor);
   cfg.max_iterations = params.size("max_iterations", cfg.max_iterations);
-  return make_protocol_driver([cfg](session_env& env) {
-    return run_priority_forward(env.net, env.state, cfg);
+  return make_protocol_machine([cfg](session_env& env) {
+    return priority_forward_machine(env.net, env.state, cfg);
   });
 }
 
@@ -205,7 +225,29 @@ std::unique_ptr<protocol_driver> priority_factory(const problem& prob,
 // rlnc-sparse / rlnc-gen): global indexing granted, every node seeds its
 // initial tokens, everyone broadcasts backend-drawn combinations until all
 // nodes decode (or the Las-Vegas cap trips).
-std::unique_ptr<protocol_driver> coded_broadcast_factory(
+round_task<protocol_result> coded_broadcast_run(
+    session_env& env, std::function<std::unique_ptr<coding_backend>()> backend,
+    std::function<round_t(std::size_t n, std::size_t k)> cap) {
+  const token_distribution& dist = env.dist;
+  NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
+  rlnc_session coding(env.prob.n, dist.k(), env.prob.d, backend());
+  for (node_id u = 0; u < env.prob.n; ++u) {
+    for (std::size_t t : dist.held_by_node[u]) {
+      coding.seed(u, t, dist.tokens[t].payload);
+    }
+  }
+  const round_t rounds_cap = cap(env.prob.n, dist.k());
+  const round_t used =
+      co_await coding.run_stepped(env.net, rounds_cap, /*stop_early=*/true);
+  protocol_result res;
+  res.rounds = used;
+  res.complete = coding.all_complete();
+  res.completion_round = res.complete ? used : 0;
+  res.max_message_bits = env.net.max_observed_message_bits();
+  co_return res;
+}
+
+std::unique_ptr<protocol_machine> coded_broadcast_factory(
     const problem& prob, const char* name,
     std::function<std::unique_ptr<coding_backend>()> backend,
     std::function<round_t(std::size_t n, std::size_t k)> cap) {
@@ -216,30 +258,15 @@ std::unique_ptr<protocol_driver> coded_broadcast_factory(
                                 " needs b >= (k + d) / 2 (k+d-bit coded "
                                 "messages must fit the O(b) budget)");
   }
-  return make_protocol_driver([backend = std::move(backend),
-                               cap = std::move(cap)](session_env& env) {
-    const token_distribution& dist = env.dist;
-    NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
-    rlnc_session coding(env.prob.n, dist.k(), env.prob.d, backend());
-    for (node_id u = 0; u < env.prob.n; ++u) {
-      for (std::size_t t : dist.held_by_node[u]) {
-        coding.seed(u, t, dist.tokens[t].payload);
-      }
-    }
-    const round_t rounds_cap = cap(env.prob.n, dist.k());
-    const round_t used = coding.run(env.net, rounds_cap, /*stop_early=*/true);
-    protocol_result res;
-    res.rounds = used;
-    res.complete = coding.all_complete();
-    res.completion_round = res.complete ? used : 0;
-    res.max_message_bits = env.net.max_observed_message_bits();
-    return res;
+  return make_protocol_machine([backend = std::move(backend),
+                                cap = std::move(cap)](session_env& env) {
+    return coded_broadcast_run(env, backend, cap);
   });
 }
 
-std::unique_ptr<protocol_driver> tstable_factory(const problem& prob,
-                                                 param_reader& params,
-                                                 tstable_engine engine) {
+std::unique_ptr<protocol_machine> tstable_factory(const problem& prob,
+                                                  param_reader& params,
+                                                  tstable_engine engine) {
   tstable_config cfg;
   cfg.b_bits = prob.b;
   cfg.t_stability = prob.t_stability;
@@ -249,8 +276,8 @@ std::unique_ptr<protocol_driver> tstable_factory(const problem& prob,
   cfg.broadcast_cap_factor =
       params.real("broadcast_cap_factor", cfg.broadcast_cap_factor);
   cfg.max_epochs = params.size("epoch_cap", cfg.max_epochs);
-  return make_protocol_driver([cfg](session_env& env) {
-    return run_tstable_dissemination(env.net, env.state, cfg);
+  return make_protocol_machine([cfg](session_env& env) {
+    return tstable_machine(env.net, env.state, cfg);
   });
 }
 
@@ -277,8 +304,8 @@ void register_builtin_protocols(protocol_registry& reg) {
                  params.real("broadcast_factor", cfg.broadcast_factor);
              cfg.max_iterations =
                  params.size("max_iterations", cfg.max_iterations);
-             return make_protocol_driver([cfg](session_env& env) {
-               return run_naive_indexed(env.net, env.state, cfg);
+             return make_protocol_machine([cfg](session_env& env) {
+               return naive_indexed_machine(env.net, env.state, cfg);
              });
            }});
   reg.add({"greedy-forward",
@@ -294,8 +321,8 @@ void register_builtin_protocols(protocol_registry& reg) {
              cfg.max_epochs = params.size("epoch_cap", cfg.max_epochs);
              cfg.stop_when_gather_below =
                  params.size("stop_below", cfg.stop_when_gather_below);
-             return make_protocol_driver([cfg](session_env& env) {
-               return run_greedy_forward(env.net, env.state, cfg);
+             return make_protocol_machine([cfg](session_env& env) {
+               return greedy_forward_machine(env.net, env.state, cfg);
              });
            }});
   reg.add({"priority-forward/flooding",
@@ -349,8 +376,8 @@ void register_builtin_protocols(protocol_registry& reg) {
              centralized_config cfg;
              cfg.b_bits = prob.b;
              cfg.cap_factor = params.real("cap_factor", cfg.cap_factor);
-             return make_protocol_driver([cfg](session_env& env) {
-               return run_centralized_rlnc(env.net, env.state, cfg);
+             return make_protocol_machine([cfg](session_env& env) {
+               return centralized_rlnc_machine(env.net, env.state, cfg);
              });
            }});
   reg.add({"rlnc-direct",
@@ -507,9 +534,9 @@ adversary_registry& adversary_registry::instance() {
 
 // --- spec -> object builders ------------------------------------------------
 
-std::unique_ptr<protocol_driver> build_protocol(
-    const problem& prob, const protocol_spec& spec,
-    std::vector<std::string>* unconsumed) {
+std::unique_ptr<protocol_machine> build_protocol(const problem& prob,
+                                                 const protocol_spec& spec,
+                                                 param_audit* audit) {
   const protocol_entry* entry = protocol_registry::instance().find(spec.name);
   if (entry == nullptr) {
     throw std::invalid_argument("ncdn: unknown protocol '" + spec.name +
@@ -519,18 +546,20 @@ std::unique_ptr<protocol_driver> build_protocol(
   // Problem-level keys may ride in the same map; apply (idempotently — the
   // caller already shaped the problem with them) so they count as consumed.
   const problem effective = apply_problem_params(prob, params);
-  auto driver = entry->make(effective, params);
-  if (unconsumed != nullptr) {
-    *unconsumed = params.unconsumed();
+  auto machine = entry->make(effective, params);
+  if (audit != nullptr) {
+    audit->unconsumed = params.unconsumed();
+    audit->recognized = params.recognized();
   } else {
     params.expect_fully_consumed();
   }
-  return driver;
+  return machine;
 }
 
-std::unique_ptr<adversary> build_adversary(
-    const problem& prob, const adversary_spec& spec, std::uint64_t seed,
-    std::vector<std::string>* unconsumed) {
+std::unique_ptr<adversary> build_adversary(const problem& prob,
+                                           const adversary_spec& spec,
+                                           std::uint64_t seed,
+                                           param_audit* audit) {
   const adversary_entry* entry = adversary_registry::instance().find(spec.name);
   if (entry == nullptr) {
     throw std::invalid_argument("ncdn: unknown adversary '" + spec.name +
@@ -539,8 +568,9 @@ std::unique_ptr<adversary> build_adversary(
   param_reader params(spec.params, "adversary '" + spec.name + "'");
   const problem effective = apply_problem_params(prob, params);
   auto adv = entry->make(effective, params, seed);
-  if (unconsumed != nullptr) {
-    *unconsumed = params.unconsumed();
+  if (audit != nullptr) {
+    audit->unconsumed = params.unconsumed();
+    audit->recognized = params.recognized();
   } else {
     params.expect_fully_consumed();
   }

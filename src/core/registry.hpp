@@ -7,7 +7,22 @@
 // enum facade dispatched on is registered here as a built-in entry; the
 // enums survive only as lookups into these tables, so a new entry cannot
 // ship without its string and external code can add entries without
-// touching this file:
+// touching this file.
+//
+// Protocol factories return a round-driven `protocol_machine`
+// (core/machine.hpp): write the algorithm as a `round_task` coroutine with
+// `co_await ncdn::next_round;` at every round boundary, and wrap it with
+// `make_protocol_machine`:
+//
+//   ncdn::round_task<ncdn::protocol_result> run_my_protocol(
+//       ncdn::session_env& env, my_config cfg) {
+//     ncdn::protocol_result res;
+//     while (!env.state.all_complete()) {
+//       env.net.step<my_msg>(env.state, make_msg, deliver);
+//       co_await ncdn::next_round;  // park; session::step() resumes here
+//     }
+//     co_return res;
+//   }
 //
 //   ncdn::protocol_registry::instance().add(
 //       {"my-protocol", "one-line summary", std::nullopt,
@@ -15,11 +30,15 @@
 //          my_config cfg;
 //          cfg.b_bits = prob.b;
 //          cfg.fanout = params.size("fanout", 2);
-//          return ncdn::make_protocol_driver(
+//          return ncdn::make_protocol_machine(
 //              [cfg](ncdn::session_env& env) {
-//                return run_my_protocol(env.net, env.state, cfg);
+//                return run_my_protocol(env, cfg);
 //              });
 //        }});
+//
+// (The deprecated loop-style `make_protocol_driver` still wraps a blocking
+// `session_env& -> protocol_result` callable, at the cost of per-round
+// stepping — see core/machine.hpp.)
 //
 // User-input errors (unknown name, unknown or malformed parameter) throw
 // std::invalid_argument; contract macros stay reserved for programmer
@@ -34,6 +53,7 @@
 #include <vector>
 
 #include "core/dissemination.hpp"
+#include "core/machine.hpp"
 #include "dynnet/adversary.hpp"
 #include "dynnet/network.hpp"
 #include "protocols/common.hpp"
@@ -58,7 +78,9 @@ struct adversary_spec {
 /// Typed, consumption-tracking access to a param_map.  Factories read the
 /// keys they understand; whoever owns the reader then calls
 /// `expect_fully_consumed()` so a typo'd key fails loudly instead of being
-/// silently ignored.
+/// silently ignored — and, because the reader also remembers every key the
+/// factory *asked* for (present in the map or not), the error can say what
+/// would have been valid.
 class param_reader {
  public:
   param_reader(const param_map& params, std::string context)
@@ -69,11 +91,15 @@ class param_reader {
   double real(const std::string& key, double fallback);
   bool flag(const std::string& key, bool fallback);
   std::string str(const std::string& key, std::string fallback);
-  bool has(const std::string& key) const { return params_->count(key) != 0; }
+  bool has(const std::string& key) { return raw(key) != nullptr; }
 
   /// Keys present in the map that nothing has read yet.
   std::vector<std::string> unconsumed() const;
-  /// Throws std::invalid_argument naming every unconsumed key.
+  /// Every key the factory queried (sorted, unique) — the spec's actual
+  /// vocabulary, fallbacks included.
+  std::vector<std::string> recognized() const;
+  /// Throws std::invalid_argument naming every unconsumed key and listing
+  /// the recognized vocabulary.
   void expect_fully_consumed() const;
 
  private:
@@ -82,44 +108,18 @@ class param_reader {
   const param_map* params_;
   std::string context_;
   std::vector<std::string> consumed_;
+  std::vector<std::string> queried_;
 };
 
-/// What a protocol driver runs against: the instance, the initial token
-/// placement, the round engine, and the shared token-knowledge state.
-struct session_env {
-  const problem& prob;
-  const token_distribution& dist;
-  network& net;
-  token_state& state;
-};
-
-/// A constructed, parameterized protocol ready to run.
-class protocol_driver {
- public:
-  virtual ~protocol_driver() = default;
-  virtual protocol_result run(session_env& env) = 0;
-};
-
-/// Wraps a callable `session_env& -> protocol_result` as a driver.
-template <class Fn>
-std::unique_ptr<protocol_driver> make_protocol_driver(Fn fn) {
-  class fn_driver final : public protocol_driver {
-   public:
-    explicit fn_driver(Fn f) : fn_(std::move(f)) {}
-    protocol_result run(session_env& env) override { return fn_(env); }
-
-   private:
-    Fn fn_;
-  };
-  return std::make_unique<fn_driver>(std::move(fn));
-}
+// session_env, protocol_machine, make_protocol_machine, and the deprecated
+// loop-style make_protocol_driver shim live in core/machine.hpp.
 
 struct protocol_entry {
   std::string name;     // e.g. "greedy-forward", "tstable/patch"
   std::string summary;  // one line for `ncdn-run list-algorithms`
   std::optional<algorithm> legacy;  // enum shim tag, if any
-  std::function<std::unique_ptr<protocol_driver>(const problem&,
-                                                 param_reader&)>
+  std::function<std::unique_ptr<protocol_machine>(const problem&,
+                                                  param_reader&)>
       make;
 };
 
@@ -168,18 +168,30 @@ std::vector<std::string> list_adversary_names();
 /// adversary wrapper and every protocol config derived from the problem.
 problem apply_problem_params(problem prob, param_reader& params);
 
-/// Builds a parameterized driver / adversary from a spec.  Throws
+/// What a factory did with its spec's param_map: the keys it never read
+/// (typos, or keys meant for the other spec) and the vocabulary it actually
+/// queried, for error messages that name the valid keys.
+struct param_audit {
+  std::vector<std::string> unconsumed;
+  std::vector<std::string> recognized;
+};
+
+/// "a, b, c" — the shared error-message rendering of a key vocabulary
+/// (expect_fully_consumed and the session's unknown-parameter error).
+std::string join_keys(const std::vector<std::string>& keys);
+
+/// Builds a parameterized machine / adversary from a spec.  Throws
 /// std::invalid_argument on unknown names; unknown parameters throw too,
-/// unless `unconsumed` is non-null, in which case leftover keys are
-/// reported there instead (the session uses this to accept a shared
-/// param_map where each key only needs to be consumed by one side).  The
-/// adversary builder applies the T-stability wrapper exactly like the old
-/// facade.
-std::unique_ptr<protocol_driver> build_protocol(
-    const problem& prob, const protocol_spec& spec,
-    std::vector<std::string>* unconsumed = nullptr);
-std::unique_ptr<adversary> build_adversary(
-    const problem& prob, const adversary_spec& spec, std::uint64_t seed,
-    std::vector<std::string>* unconsumed = nullptr);
+/// unless `audit` is non-null, in which case leftover keys are reported
+/// there instead (the session uses this to accept a shared param_map where
+/// each key only needs to be consumed by one side).  The adversary builder
+/// applies the T-stability wrapper exactly like the old facade.
+std::unique_ptr<protocol_machine> build_protocol(const problem& prob,
+                                                 const protocol_spec& spec,
+                                                 param_audit* audit = nullptr);
+std::unique_ptr<adversary> build_adversary(const problem& prob,
+                                           const adversary_spec& spec,
+                                           std::uint64_t seed,
+                                           param_audit* audit = nullptr);
 
 }  // namespace ncdn

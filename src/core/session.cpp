@@ -1,11 +1,20 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 #include "core/bits.hpp"
 
 namespace ncdn {
+
+namespace {
+
+bool contains(const std::vector<std::string>& keys, const std::string& key) {
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+}  // namespace
 
 session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
                  std::uint64_t seed)
@@ -56,64 +65,59 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
   std::uint64_t seed_state = seed_;
   rng dist_rng(splitmix64(seed_state));
   dist_ = make_distribution(prob_.n, prob_.k, prob_.d, prob_.place, dist_rng);
-  std::vector<std::string> adv_leftover;
-  std::vector<std::string> proto_leftover;
-  adv_ = build_adversary(prob_, adv_spec_, seed_ * 7919 + 11, &adv_leftover);
+  param_audit adv_audit;
+  param_audit proto_audit;
+  adv_ = build_adversary(prob_, adv_spec_, seed_ * 7919 + 11, &adv_audit);
   net_ = std::make_unique<network>(prob_.n, prob_.b, *adv_,
                                    seed_ * 104729 + 13, prob_.slack);
   state_ = std::make_unique<token_state>(dist_);
-  driver_ = build_protocol(prob_, proto_spec_, &proto_leftover);
+  machine_ = build_protocol(prob_, proto_spec_, &proto_audit);
 
   // The CLI hands both specs the same --param map, so a key is fine as
   // long as *one* side consumed it ("radius" belongs to the adversary,
-  // "epoch_cap" to the protocol).  A key neither side knows is an error.
+  // "epoch_cap" to the protocol).  A key neither side knows is an error —
+  // reported with the vocabulary both sides actually understand.
   auto consumed_by_other = [](const param_map& other_params,
-                              const std::vector<std::string>& other_leftover,
+                              const param_audit& other_audit,
                               const std::string& key) {
-    if (other_params.count(key) == 0) return false;
-    for (const std::string& left : other_leftover) {
-      if (left == key) return false;
-    }
-    return true;
+    return other_params.count(key) != 0 &&
+           !contains(other_audit.unconsumed, key);
   };
-  for (const std::string& key : proto_leftover) {
-    if (!consumed_by_other(adv_spec_.params, adv_leftover, key)) {
-      throw std::invalid_argument("ncdn: unknown parameter '" + key +
-                                  "' (neither protocol '" + proto_spec_.name +
-                                  "' nor adversary '" + adv_spec_.name +
-                                  "' takes it)");
+  auto reject_unknown = [&](const std::string& key) {
+    std::vector<std::string> known = proto_audit.recognized;
+    known.insert(known.end(), adv_audit.recognized.begin(),
+                 adv_audit.recognized.end());
+    std::sort(known.begin(), known.end());
+    known.erase(std::unique(known.begin(), known.end()), known.end());
+    std::string msg = "ncdn: unknown parameter '" + key +
+                      "' (neither protocol '" + proto_spec_.name +
+                      "' nor adversary '" + adv_spec_.name + "' takes it";
+    if (!known.empty()) msg += "; valid keys: " + join_keys(known);
+    msg += ")";
+    throw std::invalid_argument(msg);
+  };
+  for (const std::string& key : proto_audit.unconsumed) {
+    if (!consumed_by_other(adv_spec_.params, adv_audit, key)) {
+      reject_unknown(key);
     }
   }
-  for (const std::string& key : adv_leftover) {
-    if (!consumed_by_other(proto_spec_.params, proto_leftover, key)) {
-      throw std::invalid_argument("ncdn: unknown parameter '" + key +
-                                  "' (neither protocol '" + proto_spec_.name +
-                                  "' nor adversary '" + adv_spec_.name +
-                                  "' takes it)");
+  for (const std::string& key : adv_audit.unconsumed) {
+    if (!consumed_by_other(proto_spec_.params, proto_audit, key)) {
+      reject_unknown(key);
     }
   }
 
   net_->set_round_hook([this](const round_digest& digest) { on_round(digest); });
-}
-
-session::~session() {
-  if (worker_.joinable()) {
-    {
-      std::lock_guard lk(mu_);
-      cancel_ = true;
-      cv_.notify_all();
-    }
-    worker_.join();
-  }
+  env_.emplace(session_env{prob_, dist_, *net_, *state_});
 }
 
 void session::set_observer(observer_fn obs) {
-  NCDN_EXPECTS(!stepping_ && !finished_);
+  NCDN_EXPECTS(!begun_ && !finished_);
   observer_ = std::move(obs);
 }
 
 const run_report& session::report() const {
-  NCDN_EXPECTS(finished_);
+  NCDN_EXPECTS(finished_ && !failed_);
   return report_;
 }
 
@@ -183,21 +187,10 @@ void session::collect(const round_digest& digest) {
 void session::on_round(const round_digest& digest) {
   collect(digest);
   if (observer_) observer_(scratch_);
-  if (!stepping_) return;
-
-  // Rendezvous: park the protocol thread, wake the caller blocked in
-  // step().  Strict alternation — exactly one thread touches simulation
-  // state at any time, so stepping is bit-identical to the inline run.
-  std::unique_lock lk(mu_);
-  round_ready_ = true;
-  protocol_turn_ = false;
-  cv_.notify_all();
-  cv_.wait(lk, [&] { return protocol_turn_ || cancel_; });
-  if (cancel_) throw cancelled{};
 }
 
-void session::finish(const protocol_result& res) {
-  static_cast<protocol_result&>(report_) = res;
+void session::finish(protocol_result res) {
+  static_cast<protocol_result&>(report_) = std::move(res);
   report_.prob = prob_;
   report_.algorithm_name = proto_spec_.name;
   report_.adversary_name = adv_spec_.name;
@@ -206,9 +199,10 @@ void session::finish(const protocol_result& res) {
   // Central completion accounting.  Protocols whose final decode happens
   // outside a stepped round (batch decodes at epoch end) are credited at
   // the round they reported; view-observed completion can only be earlier.
-  if (metrics_.observed_completion_round == 0 && res.complete) {
+  if (metrics_.observed_completion_round == 0 && report_.complete) {
     metrics_.observed_completion_round =
-        res.completion_round != 0 ? res.completion_round : res.rounds;
+        report_.completion_round != 0 ? report_.completion_round
+                                      : report_.rounds;
   }
   if (last_knowledge_.empty()) {
     last_knowledge_.resize(prob_.n);
@@ -234,62 +228,33 @@ void session::finish(const protocol_result& res) {
   finished_ = true;
 }
 
-void session::run_protocol_thread() {
-  {
-    // Do not touch simulation state until the first step() grants the turn.
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return protocol_turn_ || cancel_; });
-    if (cancel_) return;
-  }
-  try {
-    session_env env{prob_, dist_, *net_, *state_};
-    const protocol_result res = driver_->run(env);
-    std::lock_guard lk(mu_);
-    finish(res);
-    protocol_turn_ = false;
-    cv_.notify_all();
-  } catch (cancelled&) {
-    // Session destroyed mid-run; unwind quietly.
-  } catch (...) {
-    std::lock_guard lk(mu_);
-    error_ = std::current_exception();
-    cv_.notify_all();
-  }
-}
-
 bool session::step() {
   if (finished_) return false;
-  std::unique_lock lk(mu_);
-  if (!stepping_) {
-    stepping_ = true;
-    worker_ = std::thread([this] { run_protocol_thread(); });
+  if (!begun_) {
+    machine_->begin(*env_);
+    begun_ = true;
   }
-  round_ready_ = false;
-  protocol_turn_ = true;
-  cv_.notify_all();
-  cv_.wait(lk, [&] { return round_ready_ || finished_ || error_ != nullptr; });
-  if (error_ != nullptr) {
-    const std::exception_ptr err = error_;
-    error_ = nullptr;
-    finished_ = true;  // the protocol thread is gone; session is dead
-    lk.unlock();
-    worker_.join();
-    std::rethrow_exception(err);
+  round_plan plan;
+  try {
+    plan = machine_->advance(*env_);
+  } catch (...) {
+    finished_ = true;  // the machine is dead; so is the session
+    failed_ = true;    // ... and there is no report to hand out
+    throw;
   }
-  return !finished_;
+  if (plan == round_plan::done) {
+    finish(machine_->finish());
+    return false;
+  }
+  return true;
 }
 
 const run_report& session::run_to_completion() {
-  if (finished_) return report_;
-  if (stepping_) {
-    while (step()) {
-    }
-    return report_;
+  while (step()) {
   }
-  session_env env{prob_, dist_, *net_, *state_};
-  const protocol_result res = driver_->run(env);
-  finish(res);
-  return report_;
+  // Via report() so a session whose machine threw (finished-but-failed)
+  // trips the contract instead of handing out a never-built record.
+  return report();
 }
 
 }  // namespace ncdn

@@ -11,27 +11,21 @@
 //
 // A session owns the whole instance — token distribution, adversary (from
 // the adversary registry), round engine, shared token state, and the
-// parameterized protocol driver (from the protocol registry).  It can run
-// in two equivalent modes:
+// parameterized protocol machine (from the protocol registry).  The
+// machine is round-driven (core/machine.hpp): step() advances it exactly
+// one communication round *on the calling thread* — no rendezvous thread,
+// no locks — and run_to_completion() is nothing but step() in a loop, so
+// the two modes are the same execution, bit for bit.  That makes sessions
+// cheap enough to interleave by the hundreds on one thread (core/batch.hpp)
+// and to fan out across a sweep pool without costing a kernel thread per
+// stepped cell.
 //
-//   * run_to_completion() — the protocol loop runs inline on the calling
-//     thread; the observer fires after every round via the network's round
-//     hook.  This is what the sweep engine and the legacy facade use.
-//   * step() — the protocol (written as a free-running loop) executes on a
-//     private rendezvous thread that parks at every round boundary, so the
-//     caller advances the simulation one communication round at a time.
-//     Strict hand-off (exactly one of the two threads ever runs) keeps the
-//     execution bit-identical to the inline mode.
-//
-// Both modes feed the same `round_metrics` stream and fold it into
-// `session_metrics`, which centrally subsumes the protocols' hand-rolled
-// observer-measured completion tracking.
+// Both modes feed the same `round_metrics` stream (via the network round
+// hook) and fold it into `session_metrics`, which centrally subsumes the
+// protocols' hand-rolled observer-measured completion tracking.
 #pragma once
 
-#include <condition_variable>
-#include <functional>
-#include <mutex>
-#include <thread>
+#include <optional>
 
 #include "core/registry.hpp"
 
@@ -46,7 +40,7 @@ class session {
   /// params, or an infeasible problem.
   session(const problem& prob, protocol_spec proto, adversary_spec adv,
           std::uint64_t seed);
-  ~session();
+  ~session() = default;
 
   session(const session&) = delete;
   session& operator=(const session&) = delete;
@@ -58,8 +52,10 @@ class session {
   void set_observer(observer_fn obs);
 
   /// Advances exactly one communication round (a silent waiting round
-  /// counts).  Returns false once the protocol has terminated — the final
-  /// call that observes termination itself returns false.
+  /// counts), inline on the calling thread.  Returns false once the
+  /// protocol has terminated — the final call that observes termination
+  /// itself returns false, and every call after completion (including
+  /// after run_to_completion()) returns false without touching any state.
   bool step();
 
   /// Runs the protocol to termination and returns the report.  Composes
@@ -67,7 +63,11 @@ class session {
   const run_report& run_to_completion();
 
   bool finished() const noexcept { return finished_; }
-  /// The run record; only valid once finished() is true.
+  /// True when the machine threw mid-run: the session is finished (dead)
+  /// but produced no report.
+  bool failed() const noexcept { return failed_; }
+  /// The run record; only valid once finished() is true and failed() is
+  /// false.
   const run_report& report() const;
 
   /// Session-observed aggregates (valid mid-run; final after completion).
@@ -80,12 +80,9 @@ class session {
   network& net() noexcept { return *net_; }
 
  private:
-  struct cancelled {};  // unwinds the protocol thread on early destruction
-
   void on_round(const round_digest& digest);  // network round hook target
   void collect(const round_digest& digest);   // digest -> scratch_/metrics_
-  void finish(const protocol_result& res);    // builds report_
-  void run_protocol_thread();
+  void finish(protocol_result res);           // builds report_
 
   problem prob_;
   protocol_spec proto_spec_;
@@ -96,7 +93,11 @@ class session {
   std::unique_ptr<adversary> adv_;
   std::unique_ptr<network> net_;
   std::unique_ptr<token_state> state_;
-  std::unique_ptr<protocol_driver> driver_;
+  std::unique_ptr<protocol_machine> machine_;
+  // The machine's environment; a stable object because the machine keeps a
+  // reference to it across suspensions.
+  std::optional<session_env> env_;
+  bool begun_ = false;  // machine_->begin() has run
 
   observer_fn observer_;
   round_metrics scratch_;  // reused snapshot buffer
@@ -110,16 +111,7 @@ class session {
   session_metrics metrics_;
   run_report report_;
   bool finished_ = false;
-
-  // --- stepping rendezvous (engaged by the first step() call) ---
-  bool stepping_ = false;  // protocol runs on worker_; hooks park it
-  std::thread worker_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool protocol_turn_ = false;  // worker may run; else caller owns the state
-  bool round_ready_ = false;    // a round completed since the last step()
-  bool cancel_ = false;
-  std::exception_ptr error_;
+  bool failed_ = false;  // the machine threw; report_ was never built
 };
 
 }  // namespace ncdn

@@ -21,8 +21,8 @@ struct genie_msg {
 
 }  // namespace
 
-protocol_result run_centralized_rlnc(network& net, token_state& st,
-                                     const centralized_config& cfg) {
+round_task<protocol_result> centralized_rlnc_machine(
+    network& net, token_state& st, centralized_config cfg) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t k = dist.k();
@@ -84,6 +84,7 @@ protocol_result run_centralized_rlnc(network& net, token_state& st,
             for (const bitvec& row : m->rows) decoders[u].insert(row);
           }
         });
+    co_await next_round;
   }
 
   // Reflect decoded tokens into the shared token_state for verification.
@@ -98,7 +99,12 @@ protocol_result run_centralized_rlnc(network& net, token_state& st,
   res.completion_round = res.complete ? res.rounds : 0;
   res.max_message_bits = net.max_observed_message_bits();
   res.epochs = 1;
-  return res;
+  co_return res;
+}
+
+protocol_result run_centralized_rlnc(network& net, token_state& st,
+                                     const centralized_config& cfg) {
+  return run_rounds(centralized_rlnc_machine(net, st, cfg));
 }
 
 }  // namespace ncdn

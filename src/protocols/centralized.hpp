@@ -18,6 +18,7 @@
 // corollary's argument grants.
 #pragma once
 
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
@@ -26,6 +27,10 @@ struct centralized_config {
   std::size_t b_bits = 0;
   double cap_factor = 12.0;  // round cap multiplier on (n + kd/b)
 };
+
+/// Round-driven machine form (one suspension per communication round).
+round_task<protocol_result> centralized_rlnc_machine(
+    network& net, token_state& st, centralized_config cfg);
 
 protocol_result run_centralized_rlnc(network& net, token_state& st,
                                      const centralized_config& cfg);

@@ -18,8 +18,8 @@ struct forward_msg {
 
 }  // namespace
 
-protocol_result run_flooding(network& net, token_state& st,
-                             const flooding_config& cfg) {
+round_task<protocol_result> flooding_machine(network& net, token_state& st,
+                                             flooding_config cfg) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t k = dist.k();
@@ -82,13 +82,14 @@ protocol_result run_flooding(network& net, token_state& st,
               for (std::size_t t : m->tokens) learn(u, t);
             }
           });
+      co_await next_round;
     }
     res.rounds = net.rounds_elapsed() - start_round;
     res.complete = st.all_complete();
     res.completion_round = res.complete ? res.rounds : 0;
     res.max_message_bits = net.max_observed_message_bits();
     res.epochs = 1;
-    return res;
+    co_return res;
   }
 
   for (std::size_t phase = 0; phase < phases; ++phase) {
@@ -110,6 +111,7 @@ protocol_result run_flooding(network& net, token_state& st,
               for (std::size_t t : m->tokens) learn(u, t);
             }
           });
+      co_await next_round;
       if (res.completion_round == 0 && st.all_complete()) {
         res.completion_round = net.rounds_elapsed() - start_round;
       }
@@ -143,7 +145,12 @@ protocol_result run_flooding(network& net, token_state& st,
   }
   res.max_message_bits = net.max_observed_message_bits();
   res.epochs = phases;
-  return res;
+  co_return res;
+}
+
+protocol_result run_flooding(network& net, token_state& st,
+                             const flooding_config& cfg) {
+  return run_rounds(flooding_machine(net, st, cfg));
 }
 
 }  // namespace ncdn

@@ -21,6 +21,7 @@
 // baseline the paper's coding algorithms are compared against.
 #pragma once
 
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
@@ -30,6 +31,10 @@ struct flooding_config {
   bool pipelined = false;     // suppress re-broadcasts within a phase
   double phase_factor = 1.0;  // phase length = ceil(phase_factor * n)
 };
+
+/// Round-driven machine form (one suspension per communication round).
+round_task<protocol_result> flooding_machine(network& net, token_state& st,
+                                             flooding_config cfg);
 
 protocol_result run_flooding(network& net, token_state& st,
                              const flooding_config& cfg);

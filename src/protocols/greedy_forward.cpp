@@ -26,8 +26,8 @@ std::unordered_map<std::uint64_t, std::size_t> payload_index(
 
 }  // namespace
 
-protocol_result run_greedy_forward(network& net, token_state& st,
-                                   const greedy_forward_config& cfg) {
+round_task<protocol_result> greedy_forward_machine(
+    network& net, token_state& st, greedy_forward_config cfg) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t d = dist.d_bits;
@@ -53,7 +53,8 @@ protocol_result run_greedy_forward(network& net, token_state& st,
 
   for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
     // --- gather + identify (also the termination / failure channel) ---
-    const gather_result g = run_random_forward(net, st, gcfg, &raise_fail);
+    const gather_result g =
+        co_await random_forward_machine(net, st, gcfg, &raise_fail);
     std::fill(raise_fail.begin(), raise_fail.end(), false);
 
     if (g.fail_seen) {
@@ -116,7 +117,7 @@ protocol_result run_greedy_forward(network& net, token_state& st,
       }
       session.seed(leader, i, block);
     }
-    session.run(net, bc_rounds, /*stop_early=*/false);
+    co_await session.run_stepped(net, bc_rounds, /*stop_early=*/false);
 
     // --- decode, learn, retire ---
     for (node_id u = 0; u < n; ++u) {
@@ -155,7 +156,12 @@ protocol_result run_greedy_forward(network& net, token_state& st,
     res.completion_round = res.rounds;
   }
   res.max_message_bits = net.max_observed_message_bits();
-  return res;
+  co_return res;
+}
+
+protocol_result run_greedy_forward(network& net, token_state& st,
+                                   const greedy_forward_config& cfg) {
+  return run_rounds(greedy_forward_machine(net, st, cfg));
 }
 
 }  // namespace ncdn

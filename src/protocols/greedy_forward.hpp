@@ -18,6 +18,7 @@
 #pragma once
 
 #include "coding/budget.hpp"
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
@@ -38,6 +39,11 @@ struct greedy_forward_config {
   // no node gets b^2/d tokens", §7).
   std::size_t stop_when_gather_below = 0;
 };
+
+/// Round-driven machine form (one suspension per communication round);
+/// priority-forward and the T-stable control arm await it as a sub-phase.
+round_task<protocol_result> greedy_forward_machine(
+    network& net, token_state& st, greedy_forward_config cfg);
 
 protocol_result run_greedy_forward(network& net, token_state& st,
                                    const greedy_forward_config& cfg);

@@ -21,8 +21,8 @@ struct id_flood_msg {
 
 }  // namespace
 
-protocol_result run_naive_indexed(network& net, token_state& st,
-                                  const naive_indexed_config& cfg) {
+round_task<protocol_result> naive_indexed_machine(
+    network& net, token_state& st, naive_indexed_config cfg) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t k = dist.k();
@@ -79,6 +79,7 @@ protocol_result run_naive_indexed(network& net, token_state& st,
               for (std::uint64_t id : msg->ids) known[u].insert(id);
             }
           });
+      co_await next_round;
     }
     bool fail_seen = false;
     for (node_id u = 0; u < n; ++u) fail_seen = fail_seen || fail_bit[u];
@@ -135,7 +136,7 @@ protocol_result run_naive_indexed(network& net, token_state& st,
         1, static_cast<std::size_t>(
                cfg.broadcast_factor *
                static_cast<double>(n + sel_tokens.size()))));
-    session.run(net, bc_rounds, /*stop_early=*/false);
+    co_await session.run_stepped(net, bc_rounds, /*stop_early=*/false);
 
     for (node_id u = 0; u < n; ++u) {
       if (!session.node_complete(u)) {
@@ -160,7 +161,12 @@ protocol_result run_naive_indexed(network& net, token_state& st,
     res.completion_round = res.rounds;
   }
   res.max_message_bits = net.max_observed_message_bits();
-  return res;
+  co_return res;
+}
+
+protocol_result run_naive_indexed(network& net, token_state& st,
+                                  const naive_indexed_config& cfg) {
+  return run_rounds(naive_indexed_machine(net, st, cfg));
 }
 
 }  // namespace ncdn

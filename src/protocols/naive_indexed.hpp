@@ -9,6 +9,7 @@
 // flooding-based indexing with *gathering* (greedy/priority-forward).
 #pragma once
 
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
@@ -18,6 +19,10 @@ struct naive_indexed_config {
   double broadcast_factor = 4.0;  // whp constant, see greedy_forward_config
   std::size_t max_iterations = 0;  // 0 = auto
 };
+
+/// Round-driven machine form (one suspension per communication round).
+round_task<protocol_result> naive_indexed_machine(
+    network& net, token_state& st, naive_indexed_config cfg);
 
 protocol_result run_naive_indexed(network& net, token_state& st,
                                   const naive_indexed_config& cfg);

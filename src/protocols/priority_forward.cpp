@@ -39,8 +39,8 @@ std::unordered_map<std::uint64_t, std::size_t> payload_index(
 
 }  // namespace
 
-priority_forward_result run_priority_forward(
-    network& net, token_state& st, const priority_forward_config& cfg) {
+round_task<priority_forward_result> priority_forward_machine(
+    network& net, token_state& st, priority_forward_config cfg) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t d = dist.d_bits;
@@ -57,7 +57,8 @@ priority_forward_result run_priority_forward(
     greedy_forward_config gf;
     gf.b_bits = b;
     gf.stop_when_gather_below = std::max<std::size_t>(2, greedy_budget.tokens_total);
-    const protocol_result greedy = run_greedy_forward(net, st, gf);
+    const protocol_result greedy =
+        co_await greedy_forward_machine(net, st, gf);
     res.greedy_epochs = greedy.epochs;
     if (!greedy.early_stop) {
       // Greedy already finished the whole job.
@@ -65,7 +66,7 @@ priority_forward_result run_priority_forward(
       res.complete = st.all_complete();
       res.completion_round = res.rounds;
       res.max_message_bits = net.max_observed_message_bits();
-      return res;
+      co_return res;
     }
   }
 
@@ -124,9 +125,10 @@ priority_forward_result run_priority_forward(
       // Simulates the paper's deferred recursive indexing subroutine:
       // consistent selection at a charged cost of O(n) rounds.
       for (node_id u = 0; u < n; ++u) fail_seen = fail_seen || raise_fail[u];
-      net.silent_rounds(static_cast<round_t>(std::max<std::size_t>(
-          1,
-          static_cast<std::size_t>(cfg.charged_factor * static_cast<double>(n)))));
+      co_await silent_wait(
+          net, static_cast<round_t>(std::max<std::size_t>(
+                   1, static_cast<std::size_t>(cfg.charged_factor *
+                                               static_cast<double>(n)))));
       if (!fail_seen) {
         for (node_id u = 0; u < n; ++u) {
           for (const announcement& a : own_anns[u]) selected.push_back(a);
@@ -168,6 +170,7 @@ priority_forward_result run_priority_forward(
                   }
                 }
               });
+          co_await next_round;
         }
         // After one full phase the fail bit has flooded everywhere; a
         // flagged iteration aborts before selecting (priorities go stale).
@@ -239,7 +242,7 @@ priority_forward_result run_priority_forward(
     const round_t bc_rounds = static_cast<round_t>(std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg.broadcast_factor *
                                     static_cast<double>(n + s))));
-    session.run(net, bc_rounds, /*stop_early=*/false);
+    co_await session.run_stepped(net, bc_rounds, /*stop_early=*/false);
 
     // 4. Decode, learn, retire.
     for (node_id u = 0; u < n; ++u) {
@@ -278,7 +281,12 @@ priority_forward_result run_priority_forward(
   }
   res.max_message_bits = net.max_observed_message_bits();
   res.epochs = res.greedy_epochs + res.priority_iters;
-  return res;
+  co_return res;
+}
+
+priority_forward_result run_priority_forward(
+    network& net, token_state& st, const priority_forward_config& cfg) {
+  return run_rounds(priority_forward_machine(net, st, cfg));
 }
 
 }  // namespace ncdn

@@ -21,6 +21,7 @@
 //     O(log n / b * nkd/b + n log n).  (DESIGN.md §5, substitutions.)
 #pragma once
 
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
@@ -42,6 +43,10 @@ struct priority_forward_result : protocol_result {
   std::size_t greedy_epochs = 0;    // epochs spent in the initial phase
   std::size_t priority_iters = 0;   // while-loop iterations (Lemma 7.4)
 };
+
+/// Round-driven machine form (one suspension per communication round).
+round_task<priority_forward_result> priority_forward_machine(
+    network& net, token_state& st, priority_forward_config cfg);
 
 priority_forward_result run_priority_forward(
     network& net, token_state& st, const priority_forward_config& cfg);

@@ -24,9 +24,9 @@ struct max_flood_msg {
 
 }  // namespace
 
-gather_result run_random_forward(network& net, token_state& st,
-                                 const gather_config& cfg,
-                                 const std::vector<bool>* raise_fail) {
+round_task<gather_result> random_forward_machine(
+    network& net, token_state& st, gather_config cfg,
+    const std::vector<bool>* raise_fail) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t d = dist.d_bits;
@@ -75,6 +75,7 @@ gather_result run_random_forward(network& net, token_state& st,
             }
           }
         });
+    co_await next_round;
   }
 
   // Max-identification flood: (count, uid) lexicographic maximum plus the
@@ -110,6 +111,7 @@ gather_result run_random_forward(network& net, token_state& st,
             best[u].fail = best[u].fail || m->fail;
           }
         });
+    co_await next_round;
   }
 
   gather_result res;
@@ -122,7 +124,13 @@ gather_result run_random_forward(network& net, token_state& st,
     res.fail_seen = res.fail_seen || best[u].fail;
   }
   res.rounds = net.rounds_elapsed() - start;
-  return res;
+  co_return res;
+}
+
+gather_result run_random_forward(network& net, token_state& st,
+                                 const gather_config& cfg,
+                                 const std::vector<bool>* raise_fail) {
+  return run_rounds(random_forward_machine(net, st, cfg, raise_fail));
 }
 
 }  // namespace ncdn

@@ -13,6 +13,7 @@
 // coded broadcast veto the global retirement of that epoch's tokens.
 #pragma once
 
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 
 namespace ncdn {
@@ -30,8 +31,14 @@ struct gather_result {
   bool fail_seen = false;        // some node raised the failure flag
 };
 
-/// Runs gather + max-identification.  `raise_fail[u]`, when provided, marks
-/// nodes that inject the failure flag into the flood.
+/// Gather + max-identification as a round-driven machine (one suspension
+/// per communication round).  `raise_fail[u]`, when provided, marks nodes
+/// that inject the failure flag into the flood; it must outlive the task.
+round_task<gather_result> random_forward_machine(
+    network& net, token_state& st, gather_config cfg,
+    const std::vector<bool>* raise_fail = nullptr);
+
+/// Blocking convenience over the machine (draw-for-draw identical).
 gather_result run_random_forward(network& net, token_state& st,
                                  const gather_config& cfg,
                                  const std::vector<bool>* raise_fail = nullptr);

@@ -30,6 +30,12 @@ void rlnc_session::seed(node_id u, std::size_t index, const bitvec& payload) {
 }
 
 round_t rlnc_session::run(network& net, round_t max_rounds, bool stop_early) {
+  return run_rounds(run_stepped(net, max_rounds, stop_early));
+}
+
+round_task<round_t> rlnc_session::run_stepped(network& net,
+                                              round_t max_rounds,
+                                              bool stop_early) {
   round_t used = 0;
   for (; used < max_rounds; ++used) {
     if (stop_early && all_complete()) break;
@@ -43,8 +49,9 @@ round_t rlnc_session::run(network& net, round_t max_rounds, bool stop_early) {
         [&](node_id u, const std::vector<const coded_msg*>& inbox) {
           for (const coded_msg* m : inbox) coders_[u]->insert(m->row);
         });
+    co_await next_round;
   }
-  return used;
+  co_return used;
 }
 
 bool rlnc_session::all_complete() const {

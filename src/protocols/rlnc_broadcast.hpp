@@ -16,6 +16,7 @@
 
 #include "coding/backend.hpp"
 #include "coding/token.hpp"
+#include "core/machine.hpp"
 #include "dynnet/network.hpp"
 #include "gf/field.hpp"
 #include "linalg/decoder.hpp"
@@ -49,6 +50,11 @@ class rlnc_session final : public knowledge_view {
   /// Runs up to `max_rounds` coding rounds; if stop_early, returns as soon
   /// as every node has full rank (observer-checked).  Returns rounds used.
   round_t run(network& net, round_t max_rounds, bool stop_early);
+
+  /// The same broadcast as a round-driven machine: callers `co_await` it as
+  /// a sub-phase and every coding round surfaces to the stepping driver.
+  round_task<round_t> run_stepped(network& net, round_t max_rounds,
+                                  bool stop_early);
 
   bool all_complete() const;
   bool node_complete(node_id u) const { return coders_[u]->complete(); }

@@ -100,9 +100,9 @@ struct block_ann_msg {
 };
 
 /// §8.3 mode B: patch-pipelined gathering + patch broadcast.
-tstable_result run_patch_gather(network& net, token_state& st,
-                                const tstable_config& cfg,
-                                const engine_sizing& sizing) {
+round_task<tstable_result> patch_gather_machine(network& net, token_state& st,
+                                                const tstable_config& cfg,
+                                                const engine_sizing& sizing) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t d = dist.d_bits;
@@ -138,11 +138,11 @@ tstable_result run_patch_gather(network& net, token_state& st,
     res.epochs = epoch + 1;
     // --- patches for this window ---
     const round_t mis_align = net.rounds_elapsed() % t;
-    if (mis_align != 0) net.silent_rounds(t - mis_align);
+    if (mis_align != 0) co_await silent_wait(net, t - mis_align);
     const round_t window_end = net.rounds_elapsed() + t;
     built_patches bp;
-    if (!build_patches_distributed(net, plan, bp)) {
-      net.silent_rounds(window_end - net.rounds_elapsed());
+    if (!co_await build_patches_machine(net, plan, bp)) {
+      co_await silent_wait(net, window_end - net.rounds_elapsed());
       continue;  // whp-rare; retry next window
     }
 
@@ -205,6 +205,7 @@ tstable_result run_patch_gather(network& net, token_state& st,
               }
             }
           });
+      co_await next_round;
     }
 
     // --- index blocks: flood the holders' UIDs (plus the fail bit) for n
@@ -235,6 +236,7 @@ tstable_result run_patch_gather(network& net, token_state& st,
               for (node_id h : m->holders) known[u].insert(h);
             }
           });
+      co_await next_round;
     }
     bool fail_seen = false;
     for (node_id u = 0; u < n; ++u) fail_seen = fail_seen || fail_bit[u];
@@ -276,7 +278,7 @@ tstable_result run_patch_gather(network& net, token_state& st,
       }
       session.seed(selected[i], i, block);
     }
-    session.run(net, bc_cap, /*stop_early=*/true);
+    co_await session.run_stepped(net, bc_cap, /*stop_early=*/true);
 
     for (node_id u = 0; u < n; ++u) {
       if (!session.node_complete(u)) {
@@ -313,13 +315,13 @@ tstable_result run_patch_gather(network& net, token_state& st,
   }
   res.max_message_bits = net.max_observed_message_bits();
   (void)sizing;
-  return res;
+  co_return res;
 }
 
 }  // namespace
 
-tstable_result run_tstable_dissemination(network& net, token_state& st,
-                                         const tstable_config& cfg) {
+round_task<tstable_result> tstable_machine(network& net, token_state& st,
+                                           tstable_config cfg) {
   const token_distribution& dist = st.distribution();
   const std::size_t n = dist.n;
   const std::size_t d = dist.d_bits;
@@ -327,7 +329,7 @@ tstable_result run_tstable_dissemination(network& net, token_state& st,
 
   const engine_sizing sizing = choose_engine(cfg, n, d);
   if (sizing.engine == tstable_engine::patch_gather) {
-    return run_patch_gather(net, st, cfg, sizing);
+    co_return co_await patch_gather_machine(net, st, cfg, sizing);
   }
   if (sizing.engine == tstable_engine::plain) {
     // Ordinary greedy-forward: the T-independent control arm.
@@ -336,12 +338,12 @@ tstable_result run_tstable_dissemination(network& net, token_state& st,
     gf.gather_factor = cfg.gather_factor;
     gf.flood_factor = cfg.flood_factor;
     gf.max_epochs = cfg.max_epochs;
-    const protocol_result base = run_greedy_forward(net, st, gf);
+    const protocol_result base = co_await greedy_forward_machine(net, st, gf);
     tstable_result out;
     static_cast<protocol_result&>(out) = base;
     out.engine_used = tstable_engine::plain;
     out.tokens_per_epoch = sizing.items * sizing.tokens_per_item;
-    return out;
+    co_return out;
   }
 
   const auto by_payload = payload_index(dist);
@@ -370,7 +372,8 @@ tstable_result run_tstable_dissemination(network& net, token_state& st,
       static_cast<double>(log2ceil(n) + 2));
 
   for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
-    const gather_result g = run_random_forward(net, st, gcfg, &raise_fail);
+    const gather_result g =
+        co_await random_forward_machine(net, st, gcfg, &raise_fail);
     std::fill(raise_fail.begin(), raise_fail.end(), false);
 
     if (g.fail_seen) {
@@ -441,12 +444,12 @@ tstable_result run_tstable_dissemination(network& net, token_state& st,
       plan.items = std::min(plan.items, k_items);
       tstable_patch_session session(plan);
       seed_items(session);
-      session.run(net, bc_cap, /*stop_early=*/true);
+      co_await session.run_stepped(net, bc_cap, /*stop_early=*/true);
       harvest(session);
     } else {
       chunked_meta_session session(n, cfg.b_bits, cfg.t_stability, k_items);
       seed_items(session);
-      session.run(net, bc_cap, /*stop_early=*/true);
+      co_await session.run_stepped(net, bc_cap, /*stop_early=*/true);
       harvest(session);
     }
 
@@ -471,7 +474,12 @@ tstable_result run_tstable_dissemination(network& net, token_state& st,
     res.completion_round = res.rounds;
   }
   res.max_message_bits = net.max_observed_message_bits();
-  return res;
+  co_return res;
+}
+
+tstable_result run_tstable_dissemination(network& net, token_state& st,
+                                         const tstable_config& cfg) {
+  return run_rounds(tstable_machine(net, st, cfg));
 }
 
 }  // namespace ncdn

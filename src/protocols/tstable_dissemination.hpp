@@ -29,6 +29,7 @@
 // it here would only add O(n) rounds per epoch (see DESIGN.md §5).
 #pragma once
 
+#include "core/machine.hpp"
 #include "protocols/common.hpp"
 #include "protocols/tstable_patch.hpp"
 
@@ -50,6 +51,10 @@ struct tstable_result : protocol_result {
   tstable_engine engine_used = tstable_engine::plain;
   std::size_t tokens_per_epoch = 0;  // broadcast capacity of one epoch
 };
+
+/// Round-driven machine form (one suspension per communication round).
+round_task<tstable_result> tstable_machine(network& net, token_state& st,
+                                           tstable_config cfg);
 
 tstable_result run_tstable_dissemination(network& net, token_state& st,
                                          const tstable_config& cfg);

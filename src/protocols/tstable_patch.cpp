@@ -147,13 +147,13 @@ bool tstable_patch_session::all_complete() const {
 // Patching: distributed Luby on G^D + tree building, all real rounds.
 // ---------------------------------------------------------------------------
 
-bool tstable_patch_session::run_luby_and_trees(network& net,
-                                               window_patches& wp) {
-  return build_patches_distributed(net, plan_, wp);
-}
-
 bool build_patches_distributed(network& net, const patch_plan& plan,
                                built_patches& wp) {
+  return run_rounds(build_patches_machine(net, plan, wp));
+}
+
+round_task<bool> build_patches_machine(network& net, const patch_plan& plan,
+                                       built_patches& wp) {
   const std::size_t n = plan.n;
   const std::uint32_t d = plan.d_patch;
   const std::size_t uid_bits = bits_for(n);
@@ -189,7 +189,7 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
     if (!any_active) {
       // Remaining iterations are no-ops; still burn the scheduled rounds so
       // every node stays in lockstep without global knowledge.
-      net.silent_rounds(2 * d);
+      co_await silent_wait(net, 2 * d);
       continue;
     }
     // Draw truncated priorities (the wire charges O(log n) bits, so the
@@ -224,6 +224,7 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
               }
             }
           });
+      co_await next_round;
     }
     // Local maxima over the D-ball join the MIS.
     for (node_id u = 0; u < n; ++u) {
@@ -251,6 +252,7 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
               }
             }
           });
+      co_await next_round;
       // TTLs decay: what was relayed this round is spent.
       for (node_id u = 0; u < n; ++u) {
         if (wp.is_leader[u] && ttl[u] == d) {
@@ -262,7 +264,7 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
   }
 
   for (node_id u = 0; u < n; ++u) {
-    if (active[u]) return false;  // Luby did not converge (whp event)
+    if (active[u]) co_return false;  // Luby did not converge (whp event)
   }
 
   // --- tree building: incrementing (depth, leader) wave for D rounds ---
@@ -295,9 +297,10 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
             }
           }
         });
+    co_await next_round;
   }
   for (node_id u = 0; u < n; ++u) {
-    if (!wp.assigned[u]) return false;  // MIS coverage failed
+    if (!wp.assigned[u]) co_return false;  // MIS coverage failed
   }
 
   // One round: everyone announces (uid, leader, depth); parent = lowest-uid
@@ -322,8 +325,9 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
           }
         }
       });
+  co_await next_round;
   for (node_id u = 0; u < n; ++u) {
-    if (wp.parent[u] == no_node) return false;  // should not happen
+    if (wp.parent[u] == no_node) co_return false;  // should not happen
   }
 
   // One round: children notification.
@@ -338,8 +342,9 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
           if (m->parent == u && m->uid != u) wp.children[u].push_back(m->uid);
         }
       });
+  co_await next_round;
   for (auto& kids : wp.children) std::sort(kids.begin(), kids.end());
-  return true;
+  co_return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -348,7 +353,8 @@ bool build_patches_distributed(network& net, const patch_plan& plan,
 // patch sum (§8.2.1).
 // ---------------------------------------------------------------------------
 
-void tstable_patch_session::share(network& net, window_patches& wp) {
+round_task<void> tstable_patch_session::share_stepped(network& net,
+                                                      window_patches& wp) {
   const std::size_t n = decoders_.size();
   const std::uint32_t d = plan_.d_patch;
   const round_t t_vec = plan_.t_vec;
@@ -401,6 +407,7 @@ void tstable_patch_session::share(network& net, window_patches& wp) {
             }
           }
         });
+    co_await next_round;
   }
 
   // Downcast: leader (depth 0) sends chunk c at round c; depth j relays at
@@ -442,6 +449,7 @@ void tstable_patch_session::share(network& net, window_patches& wp) {
             ++wp.got_chunks[u];
           }
         });
+    co_await next_round;
   }
   for (node_id u = 0; u < n; ++u) {
     NCDN_ASSERT(wp.got_chunks[u] == static_cast<std::uint32_t>(t_vec));
@@ -454,7 +462,8 @@ void tstable_patch_session::share(network& net, window_patches& wp) {
 // chunk over t_vec rounds (the topology is stable inside the window).
 // ---------------------------------------------------------------------------
 
-void tstable_patch_session::pass(network& net, window_patches& wp) {
+round_task<void> tstable_patch_session::pass_stepped(network& net,
+                                                     window_patches& wp) {
   const std::size_t n = decoders_.size();
   const round_t t_vec = plan_.t_vec;
   const std::size_t row_bits = plan_.items + plan_.item_bits;
@@ -483,6 +492,7 @@ void tstable_patch_session::pass(network& net, window_patches& wp) {
             }
           }
         });
+    co_await next_round;
   }
   for (node_id u = 0; u < n; ++u) {
     for (auto& [from, row] : inbox_vec[u]) decoders_[u].insert(row);
@@ -495,6 +505,12 @@ void tstable_patch_session::pass(network& net, window_patches& wp) {
 
 round_t tstable_patch_session::run(network& net, round_t max_rounds,
                                    bool stop_early) {
+  return run_rounds(run_stepped(net, max_rounds, stop_early));
+}
+
+round_task<round_t> tstable_patch_session::run_stepped(network& net,
+                                                       round_t max_rounds,
+                                                       bool stop_early) {
   NCDN_EXPECTS(plan_.feasible);
   const round_t start = net.rounds_elapsed();
   const round_t t = plan_.t_window;
@@ -503,27 +519,27 @@ round_t tstable_patch_session::run(network& net, round_t max_rounds,
     if (stop_early && all_complete()) break;
     // Align to the adversary's next window boundary.
     const round_t mis_align = net.rounds_elapsed() % t;
-    if (mis_align != 0) net.silent_rounds(t - mis_align);
+    if (mis_align != 0) co_await silent_wait(net, t - mis_align);
     const round_t window_end = net.rounds_elapsed() + t;
     ++windows_;
 
     window_patches wp;
-    if (!run_luby_and_trees(net, wp)) {
+    if (!co_await build_patches_machine(net, plan_, wp)) {
       ++patch_failures_;
-      net.silent_rounds(window_end - net.rounds_elapsed());
+      co_await silent_wait(net, window_end - net.rounds_elapsed());
       continue;
     }
     while (window_end - net.rounds_elapsed() >= plan_.cycle_rounds &&
            !(stop_early && all_complete())) {
-      share(net, wp);
-      pass(net, wp);
-      share(net, wp);
+      co_await share_stepped(net, wp);
+      co_await pass_stepped(net, wp);
+      co_await share_stepped(net, wp);
     }
     if (net.rounds_elapsed() < window_end) {
-      net.silent_rounds(window_end - net.rounds_elapsed());
+      co_await silent_wait(net, window_end - net.rounds_elapsed());
     }
   }
-  return net.rounds_elapsed() - start;
+  co_return net.rounds_elapsed() - start;
 }
 
 // ---------------------------------------------------------------------------
@@ -564,6 +580,12 @@ bool chunked_meta_session::all_complete() const {
 
 round_t chunked_meta_session::run(network& net, round_t max_rounds,
                                   bool stop_early) {
+  return run_rounds(run_stepped(net, max_rounds, stop_early));
+}
+
+round_task<round_t> chunked_meta_session::run_stepped(network& net,
+                                                      round_t max_rounds,
+                                                      bool stop_early) {
   const std::size_t n = decoders_.size();
   const std::size_t row_bits = items_ + item_bits_;
   const std::size_t tag_bits =
@@ -577,7 +599,7 @@ round_t chunked_meta_session::run(network& net, round_t max_rounds,
     const round_t pos = net.rounds_elapsed() % t_window_;
     const round_t left = t_window_ - pos;
     if (left < t_vec_) {
-      net.silent_rounds(left);
+      co_await silent_wait(net, left);
       continue;
     }
 
@@ -630,6 +652,7 @@ round_t chunked_meta_session::run(network& net, round_t max_rounds,
               }
             }
           });
+      co_await next_round;
     }
     for (node_id u = 0; u < n; ++u) {
       for (auto& [from, p] : reassembly[u]) {
@@ -639,7 +662,7 @@ round_t chunked_meta_session::run(network& net, round_t max_rounds,
       }
     }
   }
-  return net.rounds_elapsed() - start;
+  co_return net.rounds_elapsed() - start;
 }
 
 }  // namespace ncdn

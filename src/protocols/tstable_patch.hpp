@@ -29,6 +29,7 @@
 // matches the paper's min{...} algorithm selection in Theorem 2.4.
 #pragma once
 
+#include "core/machine.hpp"
 #include "dynnet/network.hpp"
 #include "linalg/decoder.hpp"
 
@@ -71,6 +72,11 @@ struct built_patches {
 bool build_patches_distributed(network& net, const patch_plan& plan,
                                built_patches& out);
 
+/// The same construction as a round-driven machine (every Luby / wave /
+/// notification round is a suspension point).
+round_task<bool> build_patches_machine(network& net, const patch_plan& plan,
+                                       built_patches& out);
+
 /// Full §8 algorithm.  The network's adversary must be (at least) T-stable
 /// with the plan's window length.
 class tstable_patch_session final : public knowledge_view {
@@ -85,6 +91,10 @@ class tstable_patch_session final : public knowledge_view {
   /// Runs whole stability windows until all nodes decode (stop_early) or
   /// the round cap; returns rounds consumed.
   round_t run(network& net, round_t max_rounds, bool stop_early);
+
+  /// Round-driven machine form of run() (awaitable sub-phase).
+  round_task<round_t> run_stepped(network& net, round_t max_rounds,
+                                  bool stop_early);
 
   bool all_complete() const;
   bool node_complete(node_id u) const { return decoders_[u].complete(); }
@@ -102,9 +112,8 @@ class tstable_patch_session final : public knowledge_view {
  private:
   struct window_patches;  // per-window patch structures (tree, depth, ...)
 
-  bool run_luby_and_trees(network& net, window_patches& wp);
-  void share(network& net, window_patches& wp);
-  void pass(network& net, window_patches& wp);
+  round_task<void> share_stepped(network& net, window_patches& wp);
+  round_task<void> pass_stepped(network& net, window_patches& wp);
 
   patch_plan plan_;
   std::vector<bit_decoder> decoders_;
@@ -132,6 +141,9 @@ class chunked_meta_session final : public knowledge_view {
 
   void seed(node_id u, std::size_t index, const bitvec& payload);
   round_t run(network& net, round_t max_rounds, bool stop_early);
+  /// Round-driven machine form of run() (awaitable sub-phase).
+  round_task<round_t> run_stepped(network& net, round_t max_rounds,
+                                  bool stop_early);
 
   bool all_complete() const;
   bool node_complete(node_id u) const { return decoders_[u].complete(); }

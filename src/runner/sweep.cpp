@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/batch.hpp"
 #include "core/bits.hpp"
 #include "core/rng.hpp"
 #include "core/session.hpp"
@@ -35,10 +36,14 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
 
   const std::size_t trials = result.options.trials;
   result.cells.resize(result.scenarios.size() * trials);
-  // More workers than cells only burns thread spawns (and can make
-  // std::thread throw under a thread ulimit); clamp to the work available.
+  // More workers than cooperative pops only burns thread spawns (and can
+  // make std::thread throw under a thread ulimit); clamp to the work
+  // available — with batching, one pop covers `batch` cells.
+  const std::size_t pops =
+      (result.cells.size() + std::max<std::size_t>(1, opts.batch) - 1) /
+      std::max<std::size_t>(1, opts.batch);
   result.options.threads =
-      std::min(result.options.threads, std::max<std::size_t>(1, result.cells.size()));
+      std::min(result.options.threads, std::max<std::size_t>(1, pops));
   for (std::size_t si = 0; si < result.scenarios.size(); ++si) {
     for (std::size_t t = 0; t < trials; ++t) {
       cell_result& cell = result.cells[si * trials + t];
@@ -56,17 +61,56 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
   // lowest cell index wins regardless of scheduling.
   std::vector<std::string> cell_errors(result.cells.size());
   std::atomic<std::size_t> next{0};
+  const std::size_t stride = std::max<std::size_t>(1, result.options.batch);
+  result.options.batch = stride;
   auto worker = [&]() {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= result.cells.size()) return;
-      cell_result& cell = result.cells[i];
-      const scenario& scen = result.scenarios[cell.scenario_index];
-      try {
-        session s(scen.prob, scen.protocol(), scen.adversary(), cell.seed);
-        cell.report = s.run_to_completion();
-      } catch (const std::exception& err) {
-        cell_errors[i] = err.what();
+      const std::size_t begin =
+          next.fetch_add(stride, std::memory_order_relaxed);
+      if (begin >= result.cells.size()) return;
+      const std::size_t end = std::min(begin + stride, result.cells.size());
+
+      // Cooperative pop: the claimed cells run interleaved round-robin on
+      // this worker's thread.  Sessions are thread-free state machines, so
+      // a worker holds `stride` live simulations at the cost of zero extra
+      // kernel threads, and the per-cell seeding keeps the reports
+      // independent of how they interleave.
+      session_batch batch;
+      std::vector<std::size_t> cell_of;  // batch slot -> cell index
+      cell_of.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        cell_result& cell = result.cells[i];
+        const scenario& scen = result.scenarios[cell.scenario_index];
+        try {
+          batch.emplace(scen.prob, scen.protocol(), scen.adversary(),
+                        cell.seed);
+          cell_of.push_back(i);
+        } catch (const std::exception& err) {
+          cell_errors[i] = err.what();
+        }
+      }
+      // Mid-run protocol failures are programmer error (contracts abort,
+      // they do not throw), so this loop is defensive: a throwing session
+      // is finished-but-failed and leaves the live set, its error is
+      // charged to its cell alone, and the healthy survivors keep running
+      // — batch results must not depend on who they shared a pop with.
+      for (;;) {
+        try {
+          batch.run_all();
+          break;
+        } catch (const std::exception& err) {
+          for (std::size_t slot = 0; slot < cell_of.size(); ++slot) {
+            if (batch.at(slot).failed() && cell_errors[cell_of[slot]].empty()) {
+              cell_errors[cell_of[slot]] = err.what();
+            }
+          }
+        }
+      }
+      for (std::size_t slot = 0; slot < cell_of.size(); ++slot) {
+        const session& cell_session = batch.at(slot);
+        if (cell_session.finished() && !cell_session.failed()) {
+          result.cells[cell_of[slot]].report = cell_session.report();
+        }
       }
     }
   };

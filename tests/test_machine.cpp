@@ -1,0 +1,416 @@
+// protocol_machine / session / session_batch tests for the round-driven
+// execution redesign:
+//
+//   * stepping is thread-free (asserted against /proc/self/status) and
+//     bit-identical to the inline run for EVERY registered protocol name
+//     crossed with an oblivious and an adaptive adversary;
+//   * step() after completion (or after run_to_completion()) returns false
+//     deterministically and leaves the report untouched;
+//   * session_batch interleaving >= 64 sessions on one thread yields
+//     reports bit-identical to running them sequentially;
+//   * the deprecated loop-style make_protocol_driver shim still registers
+//     and runs (whole protocol inside one advance);
+//   * unknown-parameter errors name the valid keys the factories queried.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/batch.hpp"
+#include "core/session.hpp"
+#include "protocols/flooding.hpp"
+
+namespace ncdn {
+namespace {
+
+// Per-protocol sizing for the tiny (n=8, k=8) cross-product (same shapes
+// as test_registry.cpp: patch engines need a window that fits whole
+// broadcast cycles).
+problem tiny_problem(const std::string& protocol) {
+  problem prob;
+  prob.n = 8;
+  prob.k = 8;
+  prob.d = 8;
+  prob.b = 32;
+  prob.t_stability = 1;
+  if (protocol == "tstable/patch" || protocol == "tstable/patch-gather") {
+    prob.t_stability = 256;
+  } else if (protocol.rfind("tstable/", 0) == 0) {
+    prob.t_stability = 4;
+  }
+  return prob;
+}
+
+void expect_reports_equal(const run_report& a, const run_report& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.completion_round, b.completion_round) << what;
+  EXPECT_EQ(a.complete, b.complete) << what;
+  EXPECT_EQ(a.early_stop, b.early_stop) << what;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << what;
+  EXPECT_EQ(a.epochs, b.epochs) << what;
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds) << what;
+  EXPECT_EQ(a.metrics.rounds_with_traffic, b.metrics.rounds_with_traffic)
+      << what;
+  EXPECT_EQ(a.metrics.observed_completion_round,
+            b.metrics.observed_completion_round)
+      << what;
+  EXPECT_EQ(a.metrics.total_messages, b.metrics.total_messages) << what;
+  EXPECT_EQ(a.metrics.total_message_bits, b.metrics.total_message_bits)
+      << what;
+  EXPECT_EQ(a.metrics.peak_round_bits, b.metrics.peak_round_bits) << what;
+  EXPECT_EQ(a.metrics.final_min_knowledge, b.metrics.final_min_knowledge)
+      << what;
+  EXPECT_EQ(a.metrics.final_total_knowledge, b.metrics.final_total_knowledge)
+      << what;
+  EXPECT_EQ(a.metrics.final_tokens_retired, b.metrics.final_tokens_retired)
+      << what;
+  EXPECT_EQ(a.metrics.total_elimination_xors,
+            b.metrics.total_elimination_xors)
+      << what;
+}
+
+#ifdef __linux__
+std::size_t os_thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+#endif
+
+// Coverage for the deprecated loop-style registration path: a protocol
+// registered through make_protocol_driver keeps working (the whole loop
+// runs inside one advance()), including through the registry-wide suites
+// below.
+const bool shim_registered = [] {
+  protocol_registry::instance().add(
+      {"test/blocking-loop",
+       "deprecated make_protocol_driver shim (test-only entry)", std::nullopt,
+       [](const problem& prob, param_reader& params) {
+         flooding_config cfg;
+         cfg.b_bits = prob.b;
+         cfg.phase_factor = params.real("phase_factor", cfg.phase_factor);
+         return make_protocol_driver([cfg](session_env& env) {
+           return run_flooding(env.net, env.state, cfg);
+         });
+       }});
+  return true;
+}();
+
+// The acceptance gate of the redesign: for EVERY registered protocol name,
+// against one oblivious and one adaptive adversary, driving the session
+// round-by-round with step() produces a report bit-identical to
+// run_to_completion() at the same seed.
+using machine_case = std::pair<std::string, std::string>;
+
+class machine_cross_suite : public ::testing::TestWithParam<machine_case> {};
+
+TEST_P(machine_cross_suite, stepped_report_is_bit_identical_to_inline) {
+  const auto& [proto, adv] = GetParam();
+  const problem prob = tiny_problem(proto);
+  const std::uint64_t seed = 41;
+
+  session inline_s(prob, protocol_spec{proto, {}}, adversary_spec{adv, {}},
+                   seed);
+  const run_report inline_rep = inline_s.run_to_completion();
+
+  session stepped(prob, protocol_spec{proto, {}}, adversary_spec{adv, {}},
+                  seed);
+  round_t steps = 0;
+  while (stepped.step()) ++steps;
+  ASSERT_TRUE(stepped.finished());
+  expect_reports_equal(inline_rep, stepped.report(),
+                       proto + " on " + adv + " (stepped vs inline)");
+  // Machine-backed protocols suspend at every round boundary, so the step
+  // count is the round count; the blocking shim runs all rounds in its
+  // single advance and yields zero true steps.
+  if (proto != "test/blocking-loop") {
+    EXPECT_EQ(steps, inline_rep.metrics.rounds) << proto << " on " << adv;
+  } else {
+    EXPECT_EQ(steps, 0u);
+  }
+}
+
+std::vector<machine_case> machine_cross_cases() {
+  std::vector<machine_case> out;
+  for (const std::string& p : list_protocol_names()) {
+    for (const char* a : {"permuted-path", "sorted-path"}) {
+      out.push_back({p, a});
+    }
+  }
+  return out;
+}
+
+std::string machine_case_name(
+    const ::testing::TestParamInfo<machine_case>& info) {
+  std::string s = info.param.first + "_" + info.param.second;
+  for (char& ch : s) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(all_registered, machine_cross_suite,
+                         ::testing::ValuesIn(machine_cross_cases()),
+                         machine_case_name);
+
+TEST(machine, stepping_spawns_no_threads) {
+  const problem prob = tiny_problem("greedy-forward");
+  session s(prob, protocol_spec{"greedy-forward", {}},
+            adversary_spec{"permuted-path", {}}, 9);
+#ifdef __linux__
+  const std::size_t before = os_thread_count();
+  ASSERT_GT(before, 0u);
+#endif
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(s.step());
+#ifdef __linux__
+    EXPECT_EQ(os_thread_count(), before) << "step " << i;
+#endif
+  }
+  // ...and the partially-stepped report still matches a fresh inline run
+  // once finished (no rendezvous state to tear down or resynchronize).
+  const run_report& rep = s.run_to_completion();
+  session inline_s(prob, protocol_spec{"greedy-forward", {}},
+                   adversary_spec{"permuted-path", {}}, 9);
+  expect_reports_equal(inline_s.run_to_completion(), rep,
+                       "mid-stepped then completed vs inline");
+#ifdef __linux__
+  EXPECT_EQ(os_thread_count(), before);
+#endif
+}
+
+TEST(machine, step_after_completion_returns_false_deterministically) {
+  const problem prob = tiny_problem("token-forwarding");
+
+  // After run_to_completion(): step() must keep returning false without
+  // touching torn-down protocol state, and the report must stay stable.
+  session a(prob, protocol_spec{"token-forwarding", {}},
+            adversary_spec{"static-path", {}}, 3);
+  const run_report first = a.run_to_completion();
+  const round_t rounds = a.rounds_elapsed();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(a.step());
+    EXPECT_TRUE(a.finished());
+    EXPECT_EQ(a.rounds_elapsed(), rounds);  // nothing advanced
+  }
+  expect_reports_equal(first, a.report(), "report after post-run step()s");
+
+  // After stepping to the end: same contract.
+  session b(prob, protocol_spec{"token-forwarding", {}},
+            adversary_spec{"static-path", {}}, 3);
+  while (b.step()) {
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(b.step());
+  expect_reports_equal(first, b.report(), "stepped-out session");
+
+  // And run_to_completion() after completion is a no-op returning the same
+  // report.
+  expect_reports_equal(first, b.run_to_completion(), "re-run after finish");
+}
+
+TEST(machine, abandoned_mid_run_session_unwinds_cleanly) {
+  // Coroutine frames (including awaited sub-phase frames) are destroyed
+  // with the session; nothing leaks and no thread needs cancelling.  Run
+  // under ASan to make this bite.
+  for (const char* proto : {"greedy-forward", "tstable/patch", "rlnc-gen"}) {
+    const problem prob = tiny_problem(proto);
+    session s(prob, protocol_spec{proto, {}},
+              adversary_spec{"permuted-path", {}}, 7);
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.finished());
+  }
+}
+
+TEST(session_batch, interleaved_batch_matches_sequential_bit_for_bit) {
+  // >= 64 live sessions on ONE thread, mixed protocols, interleaved
+  // round-robin; every report must equal the sequentially-run session at
+  // the same (spec, seed).
+  const std::vector<std::string> protos = {"rlnc-direct", "token-forwarding",
+                                           "greedy-forward", "naive-indexed"};
+  const std::size_t seeds_per_proto = 16;  // 4 x 16 = 64 sessions
+
+  std::vector<run_report> sequential;
+  for (const std::string& proto : protos) {
+    for (std::uint64_t seed = 1; seed <= seeds_per_proto; ++seed) {
+      session s(tiny_problem(proto), protocol_spec{proto, {}},
+                adversary_spec{"permuted-path", {}}, seed);
+      sequential.push_back(s.run_to_completion());
+    }
+  }
+
+#ifdef __linux__
+  const std::size_t before = os_thread_count();
+#endif
+  session_batch batch;
+  for (const std::string& proto : protos) {
+    for (std::uint64_t seed = 1; seed <= seeds_per_proto; ++seed) {
+      batch.emplace(tiny_problem(proto), protocol_spec{proto, {}},
+                    adversary_spec{"permuted-path", {}}, seed);
+    }
+  }
+  ASSERT_EQ(batch.size(), 64u);
+  ASSERT_EQ(batch.live(), 64u);
+  std::size_t passes = 0;
+  while (batch.step_all() != 0) ++passes;
+  EXPECT_TRUE(batch.all_finished());
+  EXPECT_GT(passes, 0u);
+#ifdef __linux__
+  EXPECT_EQ(os_thread_count(), before);  // the whole batch ran in-thread
+#endif
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_reports_equal(sequential[i], batch.at(i).report(),
+                         "batch slot " + std::to_string(i));
+  }
+}
+
+TEST(session_batch, run_all_and_adopted_sessions) {
+  const problem prob = tiny_problem("rlnc-direct");
+  session_batch batch;
+  // Mix emplace() with adopting an externally-constructed (even
+  // pre-finished) session.
+  auto done = std::make_unique<session>(prob, protocol_spec{"rlnc-direct", {}},
+                                        adversary_spec{"permuted-path", {}},
+                                        5);
+  const run_report done_rep = done->run_to_completion();
+  const std::size_t done_index = batch.add(std::move(done));
+  batch.emplace(prob, protocol_spec{"rlnc-direct", {}},
+                adversary_spec{"permuted-path", {}}, 6);
+  EXPECT_EQ(batch.live(), 1u);  // the adopted session was already finished
+  batch.run_all();
+  EXPECT_TRUE(batch.all_finished());
+  expect_reports_equal(done_rep, batch.at(done_index).report(), "adopted");
+
+  session lone(prob, protocol_spec{"rlnc-direct", {}},
+               adversary_spec{"permuted-path", {}}, 6);
+  expect_reports_equal(lone.run_to_completion(), batch.at(1).report(),
+                       "emplaced");
+}
+
+TEST(params, unknown_parameter_error_names_the_valid_keys) {
+  const problem prob = tiny_problem("rlnc-sparse");
+
+  // Through the session (shared param_map, both sides audited): the rho
+  // typo must be named AND the real vocabulary listed.
+  try {
+    session s(prob, protocol_spec{"rlnc-sparse", {{"rh", "0.1"}}},
+              adversary_spec{"permuted-path", {}}, 1);
+    FAIL() << "typo'd parameter was accepted";
+  } catch (const std::invalid_argument& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("'rh'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid keys"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rho"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cap_factor"), std::string::npos) << msg;
+  }
+
+  // Through build_protocol directly (no audit out-param): the
+  // expect_fully_consumed() error carries the same vocabulary.
+  try {
+    build_protocol(prob, protocol_spec{"rlnc-sparse", {{"rh", "0.1"}}});
+    FAIL() << "typo'd parameter was accepted";
+  } catch (const std::invalid_argument& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("'rh'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid keys: "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rho"), std::string::npos) << msg;
+  }
+
+  // Adversary-side typo lists the adversary's vocabulary too.
+  try {
+    session s(prob, protocol_spec{"rlnc-direct", {}},
+              adversary_spec{"random-geometric", {{"radiuss", "0.4"}}}, 1);
+    FAIL() << "typo'd parameter was accepted";
+  } catch (const std::invalid_argument& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("'radiuss'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("radius"), std::string::npos) << msg;
+  }
+}
+
+TEST(machine, throwing_machine_marks_the_session_failed_not_reported) {
+  // Registered lazily (inside the test body) so the registry-wide
+  // cross-product suites above never see this deliberately-broken entry.
+  static const bool registered = [] {
+    protocol_registry::instance().add(
+        {"test/throws-mid-run", "throws after 3 rounds (test-only entry)",
+         std::nullopt, [](const problem&, param_reader&) {
+           return make_protocol_machine([](session_env& env) {
+             return [](session_env& env) -> round_task<protocol_result> {
+               for (int r = 0; r < 3; ++r) {
+                 env.net.silent_rounds(1);
+                 co_await next_round;
+               }
+               throw std::runtime_error("protocol exploded");
+             }(env);
+           });
+         }});
+    return true;
+  }();
+  ASSERT_TRUE(registered);
+  const problem prob = tiny_problem("token-forwarding");
+
+  // Alone: the throw surfaces from step(), the session is finished-but-
+  // failed, and later step() calls stay false without touching the corpse.
+  session s(prob, protocol_spec{"test/throws-mid-run", {}},
+            adversary_spec{"permuted-path", {}}, 1);
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(s.step());
+  EXPECT_THROW(s.step(), std::runtime_error);
+  EXPECT_TRUE(s.finished());
+  EXPECT_TRUE(s.failed());
+  EXPECT_FALSE(s.step());
+
+  // In a batch: the throw propagates out of the pass, the thrower is
+  // culled from the live set, and the surviving sessions still run to
+  // completion with intact reports.
+  session_batch batch;
+  batch.emplace(prob, protocol_spec{"token-forwarding", {}},
+                adversary_spec{"permuted-path", {}}, 2);
+  batch.emplace(prob, protocol_spec{"test/throws-mid-run", {}},
+                adversary_spec{"permuted-path", {}}, 2);
+  batch.emplace(prob, protocol_spec{"token-forwarding", {}},
+                adversary_spec{"permuted-path", {}}, 3);
+  EXPECT_THROW(batch.run_all(), std::runtime_error);
+  EXPECT_TRUE(batch.at(1).failed());
+  batch.run_all();  // the two healthy sessions finish
+  EXPECT_TRUE(batch.all_finished());
+  session lone2(prob, protocol_spec{"token-forwarding", {}},
+                adversary_spec{"permuted-path", {}}, 2);
+  session lone3(prob, protocol_spec{"token-forwarding", {}},
+                adversary_spec{"permuted-path", {}}, 3);
+  expect_reports_equal(lone2.run_to_completion(), batch.at(0).report(),
+                       "survivor before the thrower");
+  expect_reports_equal(lone3.run_to_completion(), batch.at(2).report(),
+                       "survivor after the thrower");
+}
+
+TEST(machine, blocking_shim_completes_through_the_session) {
+  const problem prob = tiny_problem("test/blocking-loop");
+  session s(prob, protocol_spec{"test/blocking-loop", {}},
+            adversary_spec{"permuted-path", {}}, 13);
+  round_t observed = 0;
+  s.set_observer([&](const round_metrics&) { ++observed; });
+  // The shim runs the whole loop inside one advance: the first step()
+  // observes termination and returns false, but the per-round observer
+  // stream (via the network hook) is intact.
+  EXPECT_FALSE(s.step());
+  ASSERT_TRUE(s.finished());
+  EXPECT_TRUE(s.report().complete);
+  EXPECT_EQ(observed, s.report().metrics.rounds);
+
+  // And it matches the machine-backed registration of the same protocol.
+  session real(prob, protocol_spec{"token-forwarding", {}},
+               adversary_spec{"permuted-path", {}}, 13);
+  expect_reports_equal(real.run_to_completion(), s.report(),
+                       "shim vs machine registration");
+}
+
+}  // namespace
+}  // namespace ncdn

@@ -212,7 +212,9 @@ TEST(session, abandoning_a_stepped_session_mid_run_unwinds_cleanly) {
             adversary_spec{"permuted-path", {}}, 7);
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.step());
   EXPECT_FALSE(s.finished());
-  // Destructor cancels the parked protocol thread.
+  // Destructor destroys the suspended machine's coroutine frames; there is
+  // no protocol thread to cancel (see test_machine.cpp for the no-thread
+  // assertions).
 }
 
 TEST(session, params_override_problem_and_reject_typos) {

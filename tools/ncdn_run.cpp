@@ -15,9 +15,14 @@
 //   ncdn-run sweep [options]         parallel sweep, JSON results
 //     --match PATTERN   substring filter over scenario names (repeatable;
 //                       a scenario is swept if any pattern matches)
+//     --filter REGEX    ECMAScript regex filter over scenario names,
+//                       applied after --match (narrow CI smoke slices)
 //     --seeds N         trials per scenario            (default 3)
 //     --base-seed S     root seed                      (default 1)
 //     --threads N       worker threads; 0 = hardware   (default 0)
+//     --batch N         cells interleaved per worker pop (default 1);
+//                       each worker runs N sessions cooperatively on one
+//                       thread, so threads x batch cells stay live
 //     --out PATH        write JSON to PATH             (default stdout)
 //     --pretty          indent the JSON
 //
@@ -27,6 +32,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <regex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -46,8 +52,9 @@ int usage(const char* argv0) {
                "       %s run NAME [--seed S] [--param K=V]... [--trace]\n"
                "       %s run --alg NAME --topo NAME [--seed S] "
                "[--param K=V]... [--trace]\n"
-               "       %s sweep [--match PATTERN]... [--seeds N] "
-               "[--base-seed S] [--threads N] [--out PATH] [--pretty]\n",
+               "       %s sweep [--match PATTERN]... [--filter REGEX] [--seeds N] "
+               "[--base-seed S] [--threads N] [--batch N] [--out PATH] "
+               "[--pretty]\n",
                argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -232,6 +239,8 @@ int cmd_run(int argc, char** argv) {
 int cmd_sweep(int argc, char** argv) {
   sweep_options opts;
   std::vector<std::string> patterns;
+  std::string filter;
+  bool have_filter = false;
   std::string out_path;
   bool pretty = false;
 
@@ -249,6 +258,20 @@ int cmd_sweep(int argc, char** argv) {
       const char* p = next("--match");
       if (p == nullptr) return 2;
       patterns.emplace_back(p);
+    } else if (arg == "--filter") {
+      const char* p = next("--filter");
+      if (p == nullptr) return 2;
+      filter = p;
+      have_filter = true;
+    } else if (arg == "--batch") {
+      const char* p = next("--batch");
+      if (p == nullptr) return 2;
+      if (!parse_u64(p, v) || v == 0) {
+        std::fprintf(stderr, "ncdn-run: --batch needs a positive integer, "
+                             "got '%s'\n", p);
+        return 2;
+      }
+      opts.batch = static_cast<std::size_t>(v);
     } else if (arg == "--seeds") {
       const char* p = next("--seeds");
       if (p == nullptr) return 2;
@@ -300,6 +323,20 @@ int cmd_sweep(int argc, char** argv) {
           break;
         }
       }
+    }
+  }
+  if (have_filter) {
+    try {
+      const std::regex re(filter);
+      std::vector<scenario> kept;
+      for (scenario& s : scens) {
+        if (std::regex_search(s.name, re)) kept.push_back(std::move(s));
+      }
+      scens = std::move(kept);
+    } catch (const std::regex_error& err) {
+      std::fprintf(stderr, "ncdn-run: bad --filter regex '%s': %s\n",
+                   filter.c_str(), err.what());
+      return 2;
     }
   }
   if (scens.empty()) {
