@@ -57,7 +57,8 @@ int main() {
           trials);
       xs.push_back(static_cast<double>(n + k));
       ys.push_back(s.mean);
-      t.add_row({text_table::num(std::size_t{n}), text_table::num(std::size_t{k}),
+      t.add_row({text_table::num(std::size_t{n}),
+                 text_table::num(std::size_t{k}),
                  text_table::num(s.mean),
                  text_table::fixed(s.mean / static_cast<double>(n + k), 3)});
       rec.row(std::string("rounds_") + adv_kind,

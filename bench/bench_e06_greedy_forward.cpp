@@ -45,7 +45,8 @@ int main() {
                   .epochs);
         },
         trials);
-    const std::size_t per_epoch = (b / 2) * std::max<std::size_t>(1, b / (2 * d));
+    const std::size_t per_epoch =
+        (b / 2) * std::max<std::size_t>(1, b / (2 * d));
     t2.add_row({text_table::num(k), text_table::num(s.mean),
                 text_table::num((k + per_epoch - 1) / per_epoch + 1)});
   }

@@ -45,7 +45,8 @@ int main() {
         bench::mean_rounds(prob, "naive-indexed", "permuted-path", trials);
     const double r_greedy =
         bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
-    t2.add_row({text_table::num(std::size_t{n}), text_table::num(std::size_t{d}),
+    t2.add_row({text_table::num(std::size_t{n}),
+                text_table::num(std::size_t{d}),
                 text_table::num(std::size_t{b}), text_table::num(r_fwd),
                 text_table::num(r_naive), text_table::num(r_greedy)});
   }

@@ -229,7 +229,8 @@ int main() {
                text_table::num(r.out->rounds_per_sec)});
     rec.row("modes", {{"mode", json::value{r.mode}},
                       {"secs", json::value{r.out->secs}},
-                      {"sessions_per_sec", json::value{r.out->sessions_per_sec}},
+                      {"sessions_per_sec",
+                       json::value{r.out->sessions_per_sec}},
                       {"rounds_per_sec", json::value{r.out->rounds_per_sec}}});
   }
   t.print();

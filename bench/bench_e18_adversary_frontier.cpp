@@ -1,0 +1,133 @@
+// E18 — the dynamic-adversary frontier: rounds-to-completion per protocol
+// across the PR5 adversary families (t-interval-random, edge-markov,
+// churn, adaptive-min-cut) with permuted-path as the oblivious control.
+//
+// The paper's headline claim is that network coding disseminates fast on
+// *worst-case* T-interval connected dynamic graphs where store-and-forward
+// indexing stalls: rlnc-direct's O(n + k) broadcast needs no agreement, so
+// every family costs it about the same, while naive-indexed re-floods its
+// index under every reshuffle.  This bench pins that gap — and self-asserts
+// rlnc-direct beats naive-indexed on t-interval-random, the model class the
+// guarantees are stated against.
+//
+// Writes BENCH_E18.json under NCDN_BENCH_JSON (one row per adversary x
+// protocol: mean completion rounds, mean elimination XORs, completion
+// rate), the file the nightly trajectory job diffs run over run.
+#include "bench_util.hpp"
+
+using namespace ncdn;
+using namespace ncdn::bench;
+
+namespace {
+
+struct family {
+  const char* label;      // table / JSON row label
+  const char* adv;        // adversary registry name
+  param_map params;       // pinned family params
+  bool live_subset;       // churn-style: only coded protocols may run
+};
+
+struct outcome {
+  double rounds = 0;
+  double xors = 0;
+  double completion_rate = 0;
+};
+
+outcome measure(const problem& prob, const std::string& alg,
+                const family& fam, std::size_t trials) {
+  outcome out;
+  for (std::size_t t = 0; t < trials; ++t) {
+    session s(prob, protocol_spec{alg, fam.params},
+              adversary_spec{fam.adv, fam.params}, 1 + t);
+    const run_report rep = s.run_to_completion();
+    // Incomplete runs (a Las-Vegas cap tripping) count their full round
+    // budget: stalling is the phenomenon being measured, not an error.
+    out.rounds += static_cast<double>(rep.complete
+                                          ? rep.metrics.observed_completion_round
+                                          : rep.rounds) /
+                  static_cast<double>(trials);
+    out.xors += static_cast<double>(rep.metrics.total_elimination_xors) /
+                static_cast<double>(trials);
+    out.completion_rate += rep.complete ? 1.0 / static_cast<double>(trials) : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(
+      "E18", "dynamic-adversary frontier — rounds to completion per "
+             "protocol across the composable adversary families");
+  json_recorder rec("E18");
+  const std::size_t trials = trials_from_env(5);
+  const double scale = scale_from_env();
+  const std::size_t n = static_cast<std::size_t>(32 * scale);
+  const std::size_t k = n, d = 8;
+
+  problem prob;
+  prob.n = n;
+  prob.k = k;
+  prob.d = d;
+  prob.b = (k + d) / 2 + 8;  // same budget for every protocol: coded rows
+                             // (k+d bits) must fit, forwarding gets the
+                             // identical bandwidth
+  rec.config("trials", json::value{trials});
+  rec.config("n", json::value{n});
+  rec.config("k", json::value{k});
+  rec.config("d", json::value{d});
+  rec.config("b", json::value{prob.b});
+
+  const std::vector<family> families = {
+      {"permuted-path", "permuted-path", {}, false},
+      {"t-interval-random", "t-interval-random", {{"t", "4"}}, false},
+      {"edge-markov", "edge-markov",
+       {{"p_on", "0.15"}, {"p_off", "0.3"}}, false},
+      {"adaptive-min-cut", "adaptive-min-cut", {}, false},
+      {"churn", "churn", {{"rate", "0.1"}, {"max_down", "4"}}, true},
+  };
+  const std::vector<const char*> protocols = {"token-forwarding",
+                                              "naive-indexed", "rlnc-direct"};
+
+  double rlnc_tir = 0;   // rlnc-direct on t-interval-random
+  double naive_tir = 0;  // naive-indexed on t-interval-random
+
+  text_table t({"adversary", "protocol", "rounds", "elim-xors", "complete"});
+  for (const family& fam : families) {
+    for (const char* alg : protocols) {
+      const bool coded = std::string(alg) == "rlnc-direct";
+      if (fam.live_subset && !coded) {
+        // §4.1-model protocols cannot run under live-subset adversaries
+        // (the session rejects the pairing); the gap in the table is the
+        // point — coded broadcast is the one that survives churn.
+        t.add_row({fam.label, alg, "-", "-", "-"});
+        continue;
+      }
+      const outcome o = measure(prob, alg, fam, trials);
+      t.add_row({fam.label, alg, text_table::num(o.rounds),
+                 text_table::num(o.xors), text_table::num(o.completion_rate)});
+      rec.row("frontier",
+              {{"adversary", json::value{fam.label}},
+               {"protocol", json::value{alg}},
+               {"rounds", json::value{o.rounds}},
+               {"elimination_xors", json::value{o.xors}},
+               {"completion_rate", json::value{o.completion_rate}}});
+      if (std::string(fam.label) == "t-interval-random") {
+        if (coded) rlnc_tir = o.rounds;
+        if (std::string(alg) == "naive-indexed") naive_tir = o.rounds;
+      }
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nPaper check: on t-interval-random (the worst-case model class the "
+      "guarantees address), rlnc-direct completes in %.1f rounds vs "
+      "naive-indexed's %.1f — coding needs no re-indexing when the "
+      "topology reshuffles, flooding-based indexing pays for every "
+      "window.\n",
+      rlnc_tir, naive_tir);
+  NCDN_ASSERT(rlnc_tir > 0 && naive_tir > 0);
+  NCDN_ASSERT(rlnc_tir < naive_tir);  // the headline claim, self-asserted
+  return 0;
+}

@@ -32,9 +32,11 @@ summary measure_over_seeds(const std::function<double(std::uint64_t)>& measure,
 }
 
 void print_experiment_header(const std::string& id, const std::string& claim) {
-  std::printf("\n================================================================\n");
+  std::printf(
+      "\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), claim.c_str());
-  std::printf("================================================================\n");
+  std::printf(
+      "================================================================\n");
 }
 
 }  // namespace ncdn

@@ -24,6 +24,10 @@ struct round_metrics {
   std::size_t messages = 0;          // nodes that broadcast this round
   std::size_t message_bits = 0;      // total bits put on the air this round
   std::size_t max_message_bits = 0;  // largest single message this round
+  std::size_t topology_edges = 0;    // |E| of the round's committed graph
+                                     // (0 for silent rounds) — makes the
+                                     // dynamic families' evolution visible
+                                     // to observers/--trace
 
   // Per-node knowledge after the round: tokens known for forwarding
   // protocols, received-span rank for coding protocols (the same quantity

@@ -314,7 +314,8 @@ void register_builtin_protocols(protocol_registry& reg) {
            [](const problem& prob, param_reader& params) {
              greedy_forward_config cfg;
              cfg.b_bits = prob.b;
-             cfg.gather_factor = params.real("gather_factor", cfg.gather_factor);
+             cfg.gather_factor =
+                 params.real("gather_factor", cfg.gather_factor);
              cfg.flood_factor = params.real("flood_factor", cfg.flood_factor);
              cfg.broadcast_factor =
                  params.real("broadcast_factor", cfg.broadcast_factor);
@@ -379,7 +380,8 @@ void register_builtin_protocols(protocol_registry& reg) {
              return make_protocol_machine([cfg](session_env& env) {
                return centralized_rlnc_machine(env.net, env.state, cfg);
              });
-           }});
+           },
+           /*needs_full_connectivity=*/false});
   reg.add({"rlnc-direct",
            "Lemma 5.3 indexed broadcast standalone (indexing granted)",
            algorithm::rlnc_direct,
@@ -394,7 +396,8 @@ void register_builtin_protocols(protocol_registry& reg) {
                               cap_factor * static_cast<double>(n + k)) +
                           64;
                  });
-           }});
+           },
+           /*needs_full_connectivity=*/false});
   // Registry-only backends (no legacy enum): the density/delay trade-offs
   // of practical RLNC (sparsenc; Firooz & Roy; Costa et al.).
   reg.add({"rlnc-sparse",
@@ -419,7 +422,8 @@ void register_builtin_protocols(protocol_registry& reg) {
                               static_cast<double>(n + k)) +
                           64;
                  });
-           }});
+           },
+           /*needs_full_connectivity=*/false});
   reg.add({"rlnc-gen",
            "indexed broadcast, generation/band coding [gen_size, "
            "band_overlap]",
@@ -431,7 +435,8 @@ void register_builtin_protocols(protocol_registry& reg) {
                    "ncdn: rlnc-gen needs gen_size >= 1");
              }
              const std::size_t overlap =
-                 params.size("band_overlap", std::min<std::size_t>(4, gen_size));
+                 params.size("band_overlap",
+                             std::min<std::size_t>(4, gen_size));
              if (overlap > gen_size) {
                throw std::invalid_argument(
                    "ncdn: rlnc-gen needs band_overlap <= gen_size");
@@ -453,10 +458,97 @@ void register_builtin_protocols(protocol_registry& reg) {
                                   gens * (n + gen_size + overlap) + k)) +
                           64;
                  });
-           }});
+           },
+           /*needs_full_connectivity=*/false});
 }
 
 // --- built-in adversaries ---------------------------------------------------
+
+// The composable modifier layer (edge-markov / churn / t-stable over any
+// base family) builds its base through the registry so `base=` accepts the
+// same names `list-adversaries` prints.  Bases must be non-composite —
+// nesting modifiers through string params would re-read the same keys with
+// conflicting meanings (and could recurse).
+std::unique_ptr<adversary> build_base_adversary(const std::string& context,
+                                                const std::string& base_name,
+                                                const problem& prob,
+                                                param_reader& params,
+                                                std::uint64_t seed) {
+  for (const char* composite : {"edge-markov", "churn", "compose"}) {
+    if (base_name == composite) {
+      throw std::invalid_argument("ncdn: " + context +
+                                  " cannot stack on composite base '" +
+                                  base_name + "' (pick a plain family)");
+    }
+  }
+  const adversary_entry* entry =
+      adversary_registry::instance().find(base_name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ncdn: " + context + ": unknown base "
+                                "adversary '" + base_name +
+                                "' (see list-adversaries)");
+  }
+  return entry->make(prob, params, seed);
+}
+
+// Wrapper and base randomness must be decorrelated even though both derive
+// from the cell seed; fixed stream constants keep the split deterministic.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return splitmix64(state);
+}
+
+double checked_probability(const std::string& context, const char* key,
+                           double value, bool allow_zero) {
+  const bool ok = (allow_zero ? value >= 0.0 : value > 0.0) && value <= 1.0;
+  if (!ok) {
+    throw std::invalid_argument("ncdn: " + context + " needs " + key +
+                                (allow_zero ? " in [0, 1]" : " in (0, 1]"));
+  }
+  return value;
+}
+
+std::unique_ptr<adversary> edge_markov_factory(const std::string& context,
+                                               const problem& prob,
+                                               param_reader& params,
+                                               const std::string& base_name,
+                                               std::uint64_t seed) {
+  const double p_on =
+      checked_probability(context, "p_on", params.real("p_on", 0.15), false);
+  const double p_off =
+      checked_probability(context, "p_off", params.real("p_off", 0.3), true);
+  auto base = build_base_adversary(context, base_name, prob, params,
+                                   derive_seed(seed, 1));
+  return make_edge_markov(std::move(base), p_on, p_off, derive_seed(seed, 2));
+}
+
+std::unique_ptr<adversary> churn_factory(const std::string& context,
+                                         const problem& prob,
+                                         param_reader& params,
+                                         const std::string& base_name,
+                                         std::uint64_t seed) {
+  const double rate =
+      checked_probability(context, "rate", params.real("rate", 0.05), true);
+  if (rate >= 1.0) {
+    throw std::invalid_argument("ncdn: " + context + " needs rate in [0, 1)");
+  }
+  const double rejoin = checked_probability(context, "rejoin",
+                                            params.real("rejoin", 0.25), true);
+  const std::size_t min_live =
+      params.size("min_live", std::max<std::size_t>(2, prob.n / 2));
+  if (min_live < 2 || min_live > prob.n) {
+    throw std::invalid_argument("ncdn: " + context +
+                                " needs min_live in [2, n]");
+  }
+  const round_t max_down = params.u64("max_down", 8);
+  if (max_down < 1) {
+    throw std::invalid_argument("ncdn: " + context + " needs max_down >= 1");
+  }
+  auto base = build_base_adversary(context, base_name, prob, params,
+                                   derive_seed(seed, 3));
+  return make_churn(std::move(base), rate, rejoin, min_live, max_down,
+                    derive_seed(seed, 4));
+}
 
 void register_builtin_adversaries(adversary_registry& reg) {
   reg.add({"static-path", "fixed path (static-network degenerate case)",
@@ -509,6 +601,89 @@ void register_builtin_adversaries(adversary_registry& reg) {
              const std::size_t extra =
                  params.size("extra_edges", prob.n / 2);
              return make_t_interval(prob.n, t, extra, seed);
+           }});
+  // The dynamic-adversary engine (PR5): the paper's worst-case model class
+  // and the evolving/ad-hoc graph families of the related RLNC evaluations
+  // (Ashrafi-Roy-Firooz; Firooz-Roy), plus a generic modifier layer.
+  reg.add({"static-clique", "fixed complete graph (dense-mixing control)",
+           std::nullopt,
+           [](const problem& prob, param_reader&, std::uint64_t) {
+             return make_static_clique(prob.n);
+           }});
+  reg.add({"t-interval-random",
+           "fresh random connected subgraph held fixed per T-round window "
+           "(the paper's T-interval model class) [t, extra_edges]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const round_t t = params.u64("t", 4);
+             if (t < 1) {
+               throw std::invalid_argument(
+                   "ncdn: t-interval-random needs t >= 1");
+             }
+             const std::size_t extra =
+                 params.size("extra_edges", prob.n / 2);
+             return make_t_interval_random(prob.n, t, extra, seed);
+           }});
+  reg.add({"edge-markov",
+           "per-edge on/off Markov chains over a base edge set "
+           "[p_on, p_off, base]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const std::string base = params.str("base", "static-clique");
+             return edge_markov_factory("adversary 'edge-markov'", prob,
+                                        params, base, seed);
+           }});
+  reg.add({"churn",
+           "nodes depart/arrive (live set stays connected; bounded "
+           "downtime) [rate, rejoin, min_live, max_down, base]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const std::string base = params.str("base", "random-connected");
+             return churn_factory("adversary 'churn'", prob, params, base,
+                                  seed);
+           }});
+  reg.add({"adaptive-min-cut",
+           "adaptive: splits the knowledge frontier with a single-bridge "
+           "cut every round [side]",
+           std::nullopt,
+           [](const problem&, param_reader& params, std::uint64_t) {
+             const std::string side = params.str("side", "clique");
+             if (side != "clique" && side != "path") {
+               throw std::invalid_argument(
+                   "ncdn: adaptive-min-cut needs side=clique or side=path");
+             }
+             return make_adaptive_min_cut(side == "clique");
+           }});
+  reg.add({"compose",
+           "modifier over a base family: modifier=edge-markov|churn|"
+           "t-stable, base=<any plain family> [plus their params]",
+           std::nullopt,
+           [](const problem& prob, param_reader& params, std::uint64_t seed) {
+             const std::string base = params.str("base", "random-geometric");
+             const std::string modifier =
+                 params.str("modifier", "edge-markov");
+             const std::string context =
+                 "adversary 'compose' (modifier " + modifier + ")";
+             if (modifier == "edge-markov") {
+               return edge_markov_factory(context, prob, params, base, seed);
+             }
+             if (modifier == "churn") {
+               return churn_factory(context, prob, params, base, seed);
+             }
+             if (modifier == "t-stable") {
+               const round_t t = params.u64("t", 4);
+               if (t < 1) {
+                 throw std::invalid_argument("ncdn: " + context +
+                                             " needs t >= 1");
+               }
+               return make_t_stable(
+                   build_base_adversary(context, base, prob, params,
+                                        derive_seed(seed, 5)),
+                   t);
+             }
+             throw std::invalid_argument(
+                 "ncdn: compose needs modifier=edge-markov, churn, or "
+                 "t-stable (got '" + modifier + "')");
            }});
 }
 

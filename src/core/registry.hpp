@@ -121,6 +121,12 @@ struct protocol_entry {
   std::function<std::unique_ptr<protocol_machine>(const problem&,
                                                   param_reader&)>
       make;
+  // Whether the protocol's correctness rests on every round's topology
+  // being connected over all nodes (min-flood agreement, patch covers).
+  // The coded-broadcast family tolerates partial connectivity — any
+  // received combination helps, no consensus step — so those entries
+  // clear this and may be paired with live-subset adversaries (churn).
+  bool needs_full_connectivity = true;
 };
 
 struct adversary_entry {

@@ -68,6 +68,22 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
   param_audit adv_audit;
   param_audit proto_audit;
   adv_ = build_adversary(prob_, adv_spec_, seed_ * 7919 + 11, &adv_audit);
+  // Protocols specified against the §4.1 model (every round's topology
+  // connected over all nodes) must not run under adversaries that only
+  // keep a live subset connected: their min-flood agreement steps would
+  // trip contract aborts mid-run.  Reject the pairing up front instead.
+  const protocol_entry* proto_entry =
+      protocol_registry::instance().find(proto_spec_.name);
+  if (proto_entry != nullptr && proto_entry->needs_full_connectivity &&
+      !adv_->full_connectivity()) {
+    throw std::invalid_argument(
+        "ncdn: protocol '" + proto_spec_.name +
+        "' requires full per-round connectivity (§4.1), but adversary '" +
+        adv_spec_.name +
+        "' only keeps the live node subset connected; pick a "
+        "partition-tolerant protocol (rlnc-direct, rlnc-sparse, rlnc-gen, "
+        "centralized-rlnc)");
+  }
   net_ = std::make_unique<network>(prob_.n, prob_.b, *adv_,
                                    seed_ * 104729 + 13, prob_.slack);
   state_ = std::make_unique<token_state>(dist_);
@@ -107,7 +123,8 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
     }
   }
 
-  net_->set_round_hook([this](const round_digest& digest) { on_round(digest); });
+  net_->set_round_hook(
+      [this](const round_digest& digest) { on_round(digest); });
   env_.emplace(session_env{prob_, dist_, *net_, *state_});
 }
 
@@ -127,6 +144,7 @@ void session::collect(const round_digest& digest) {
   scratch_.messages = digest.messages;
   scratch_.message_bits = digest.message_bits;
   scratch_.max_message_bits = digest.max_message_bits;
+  scratch_.topology_edges = digest.topology_edges;
 
   if (digest.view != nullptr) {
     const std::size_t n = digest.view->node_count();

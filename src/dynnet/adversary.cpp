@@ -77,6 +77,186 @@ std::string t_interval_adversary::name() const {
   return "t-interval/T=" + std::to_string(t_);
 }
 
+edge_markov_adversary::edge_markov_adversary(std::unique_ptr<adversary> base,
+                                             double p_on, double p_off,
+                                             std::uint64_t seed)
+    : base_(std::move(base)), p_on_(p_on), p_off_(p_off), rng_(seed) {
+  NCDN_EXPECTS(base_ != nullptr);
+  NCDN_EXPECTS(p_on_ > 0.0 && p_on_ <= 1.0);
+  NCDN_EXPECTS(p_off_ >= 0.0 && p_off_ <= 1.0);
+}
+
+const graph& edge_markov_adversary::topology(round_t r,
+                                             const knowledge_view& view) {
+  if (r == current_round_) return current_;
+  const graph& base = base_->topology(r, view);
+  const std::size_t n = base.order();
+  graph g(n);
+  // Walk the candidate edges in deterministic adjacency order; each chain
+  // advances at most once per round (parallel base edges share one chain).
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v : base.neighbors(u)) {
+      if (u >= v) continue;
+      const std::uint64_t key = static_cast<std::uint64_t>(u) * n + v;
+      edge_state& st = states_[key];
+      if (st.last != r) {
+        if (st.last == ~round_t{0}) {
+          // First sighting: stationary distribution of the chain.
+          st.on = rng_.bernoulli(p_on_ / (p_on_ + p_off_));
+        } else if (st.on) {
+          st.on = !rng_.bernoulli(p_off_);
+        } else {
+          st.on = rng_.bernoulli(p_on_);
+        }
+        st.last = r;
+      }
+      if (st.on && !g.has_edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  forced_edges_ = gen::make_connected_over(g, base);
+  NCDN_ENSURES(g.is_connected());
+  current_ = std::move(g);
+  current_round_ = r;
+  return current_;
+}
+
+std::string edge_markov_adversary::name() const {
+  return "edge-markov(" + base_->name() + ")";
+}
+
+churn_adversary::churn_adversary(std::unique_ptr<adversary> base, double rate,
+                                 double rejoin, std::size_t min_live,
+                                 round_t max_down, std::uint64_t seed)
+    : base_(std::move(base)),
+      rate_(rate),
+      rejoin_(rejoin),
+      min_live_(min_live),
+      max_down_(max_down),
+      rng_(seed) {
+  NCDN_EXPECTS(base_ != nullptr);
+  NCDN_EXPECTS(rate_ >= 0.0 && rate_ < 1.0);
+  NCDN_EXPECTS(rejoin_ >= 0.0 && rejoin_ <= 1.0);
+  NCDN_EXPECTS(min_live_ >= 2);
+  NCDN_EXPECTS(max_down_ >= 1);
+}
+
+const graph& churn_adversary::topology(round_t r, const knowledge_view& view) {
+  if (r == current_round_) return current_;
+  const graph& base = base_->topology(r, view);
+  const std::size_t n = base.order();
+  if (live_.empty()) {
+    NCDN_EXPECTS(min_live_ <= n);
+    live_.assign(n, 1);
+    down_since_.assign(n, 0);
+    live_count_ = n;
+  }
+  // Advance the arrival/departure process in node-id order (deterministic;
+  // the live floor is enforced against the running count).
+  for (node_id u = 0; u < n; ++u) {
+    if (live_[u] != 0) {
+      if (live_count_ > min_live_ && rng_.bernoulli(rate_)) {
+        live_[u] = 0;
+        down_since_[u] = r;
+        --live_count_;
+      }
+    } else {
+      // Bounded downtime: the guaranteed rejoin keeps dissemination
+      // terminating even at rejoin_ = 0.
+      if (r - down_since_[u] >= max_down_ || rng_.bernoulli(rejoin_)) {
+        live_[u] = 1;
+        ++live_count_;
+      }
+    }
+  }
+  // The base topology induced on the live set; departed nodes are isolated.
+  graph g(n);
+  for (node_id u = 0; u < n; ++u) {
+    if (live_[u] == 0) continue;
+    for (node_id v : base.neighbors(u)) {
+      if (u < v && live_[v] != 0 && !g.has_edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  // The live set must stay connected (its own §4.1 contract); the base may
+  // only connect it through departed nodes, so invented links can appear.
+  gen::make_connected_over(g, base, &live_);
+  current_ = std::move(g);
+  current_round_ = r;
+  return current_;
+}
+
+std::string churn_adversary::name() const {
+  return "churn(" + base_->name() + ")";
+}
+
+t_interval_random_adversary::t_interval_random_adversary(
+    std::size_t n, round_t t, std::size_t extra_edges, std::uint64_t seed)
+    : n_(n), t_(t), extra_edges_(extra_edges), rng_(seed) {
+  NCDN_EXPECTS(n >= 2 && t >= 1);
+}
+
+const graph& t_interval_random_adversary::topology(round_t r,
+                                                   const knowledge_view&) {
+  const round_t window = r / t_;
+  if (window != window_) {
+    current_ = gen::random_connected(n_, extra_edges_, rng_);
+    window_ = window;
+  }
+  return current_;
+}
+
+std::string t_interval_random_adversary::name() const {
+  return "t-interval-random/T=" + std::to_string(t_);
+}
+
+const graph& adaptive_min_cut_adversary::topology(round_t,
+                                                  const knowledge_view& view) {
+  const std::size_t n = view.node_count();
+  std::vector<node_id> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+    return view.knowledge(a) < view.knowledge(b);
+  });
+  // Split at the widest knowledge gap: the frontier the protocol most
+  // needs to cross.  Uniform knowledge has no frontier to attack; fall
+  // back to a balanced split.
+  std::size_t split = n / 2;
+  std::size_t best_gap = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t gap =
+        view.knowledge(order[i]) - view.knowledge(order[i - 1]);
+    if (gap > best_gap) {
+      best_gap = gap;
+      split = i;
+    }
+  }
+  if (split == 0 || split == n) split = n / 2;
+
+  graph g(n);
+  auto side = [&](std::size_t begin, std::size_t end) {
+    if (clique_sides_) {
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = i + 1; j < end; ++j) {
+          g.add_edge(order[i], order[j]);
+        }
+      }
+    } else {
+      for (std::size_t i = begin; i + 1 < end; ++i) {
+        g.add_edge(order[i], order[i + 1]);
+      }
+    }
+  };
+  side(0, split);
+  side(split, n);
+  // The single bridge joins the two knowledge-adjacent boundary nodes —
+  // the pair whose exchange is least informative.
+  if (split < n && split > 0) g.add_edge(order[split - 1], order[split]);
+
+  low_side_.assign(n, 0);
+  for (std::size_t i = 0; i < split; ++i) low_side_[order[i]] = 1;
+  current_ = std::move(g);
+  return current_;
+}
+
 const graph& sorted_path_adversary::topology(round_t,
                                              const knowledge_view& view) {
   const std::size_t n = view.node_count();
@@ -112,7 +292,9 @@ std::unique_ptr<adversary> make_random_connected(std::size_t n,
                                                  std::uint64_t seed) {
   return std::make_unique<generator_adversary>(
       "random-connected",
-      [n, extra_edges](rng& r) { return gen::random_connected(n, extra_edges, r); },
+      [n, extra_edges](rng& r) {
+        return gen::random_connected(n, extra_edges, r);
+      },
       seed);
 }
 
@@ -137,6 +319,36 @@ std::unique_ptr<adversary> make_t_interval(std::size_t n, round_t t,
                                            std::size_t extra_edges,
                                            std::uint64_t seed) {
   return std::make_unique<t_interval_adversary>(n, t, extra_edges, seed);
+}
+
+std::unique_ptr<adversary> make_static_clique(std::size_t n) {
+  return std::make_unique<static_adversary>(gen::clique(n));
+}
+
+std::unique_ptr<adversary> make_edge_markov(std::unique_ptr<adversary> base,
+                                            double p_on, double p_off,
+                                            std::uint64_t seed) {
+  return std::make_unique<edge_markov_adversary>(std::move(base), p_on, p_off,
+                                                 seed);
+}
+
+std::unique_ptr<adversary> make_churn(std::unique_ptr<adversary> base,
+                                      double rate, double rejoin,
+                                      std::size_t min_live, round_t max_down,
+                                      std::uint64_t seed) {
+  return std::make_unique<churn_adversary>(std::move(base), rate, rejoin,
+                                           min_live, max_down, seed);
+}
+
+std::unique_ptr<adversary> make_t_interval_random(std::size_t n, round_t t,
+                                                  std::size_t extra_edges,
+                                                  std::uint64_t seed) {
+  return std::make_unique<t_interval_random_adversary>(n, t, extra_edges,
+                                                       seed);
+}
+
+std::unique_ptr<adversary> make_adaptive_min_cut(bool clique_sides) {
+  return std::make_unique<adaptive_min_cut_adversary>(clique_sides);
 }
 
 }  // namespace ncdn

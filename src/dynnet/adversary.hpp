@@ -12,8 +12,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "dynnet/generators.hpp"
@@ -71,6 +73,13 @@ class adversary {
   /// The connected communication graph for round `r`.
   virtual const graph& topology(round_t r, const knowledge_view& view) = 0;
   virtual std::string name() const = 0;
+
+  /// True when every round's topology is connected over *all* nodes (the
+  /// §4.1 model every protocol in the paper is specified against).
+  /// Families that only guarantee connectivity of a live subset (churn)
+  /// return false; the session refuses to pair them with protocols whose
+  /// correctness rests on whole-graph agreement (min-flood consensus).
+  virtual bool full_connectivity() const { return true; }
 };
 
 /// Fixed topology every round (the static-network degenerate case).
@@ -109,6 +118,9 @@ class t_stable_adversary final : public adversary {
   t_stable_adversary(std::unique_ptr<adversary> inner, round_t t);
   const graph& topology(round_t r, const knowledge_view& view) override;
   std::string name() const override;
+  bool full_connectivity() const override {
+    return inner_->full_connectivity();
+  }
   round_t stability() const noexcept { return t_; }
 
  private:
@@ -158,11 +170,132 @@ class sorted_path_adversary final : public adversary {
   graph current_;
 };
 
+/// Per-edge on/off Markov chains over a base adversary's edge set
+/// (Ashrafi-Roy-Firooz's evolving ad-hoc graphs).  Each round the base
+/// commits its topology — the *candidate* edge set — and every candidate
+/// edge carries a persistent two-state chain: off -> on with `p_on`,
+/// on -> off with `p_off` (first sighting draws from the stationary
+/// distribution p_on / (p_on + p_off)).  The round's graph is the "on"
+/// candidates, patched back to connectivity (the model's §4.1 contract)
+/// with base edges first and invented links as a last resort.
+class edge_markov_adversary final : public adversary {
+ public:
+  edge_markov_adversary(std::unique_ptr<adversary> base, double p_on,
+                        double p_off, std::uint64_t seed);
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override;
+
+  /// Connectivity-repair edges added on the most recent round (observable
+  /// so tests can assert the patching stays minimal).
+  std::size_t last_forced_edges() const noexcept { return forced_edges_; }
+
+ private:
+  struct edge_state {
+    bool on = false;
+    round_t last = ~round_t{0};  // last round this chain advanced
+  };
+
+  std::unique_ptr<adversary> base_;
+  double p_on_;
+  double p_off_;
+  rng rng_;
+  std::map<std::uint64_t, edge_state> states_;  // key u * n + v, u < v
+  graph current_;
+  round_t current_round_ = ~round_t{0};
+  std::size_t forced_edges_ = 0;
+};
+
+/// Node churn over a base adversary: each round a live node departs with
+/// probability `rate` (never dropping the live population below
+/// `min_live`) and a departed node rejoins with probability `rejoin` — or
+/// unconditionally after `max_down` rounds, so downtime is bounded and
+/// dissemination still terminates.  The round's graph is the base topology
+/// induced on the live set, patched so the live set stays connected;
+/// departed nodes are isolated (degree 0) until they return.
+class churn_adversary final : public adversary {
+ public:
+  churn_adversary(std::unique_ptr<adversary> base, double rate, double rejoin,
+                  std::size_t min_live, round_t max_down, std::uint64_t seed);
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override;
+  /// Departed nodes are isolated: only the live set is connected.
+  bool full_connectivity() const override { return false; }
+
+  /// Liveness of every node on the most recent round (1 = live).
+  const std::vector<char>& live() const noexcept { return live_; }
+  std::size_t live_count() const noexcept { return live_count_; }
+  std::size_t min_live() const noexcept { return min_live_; }
+
+ private:
+  std::unique_ptr<adversary> base_;
+  double rate_;
+  double rejoin_;
+  std::size_t min_live_;
+  round_t max_down_;
+  rng rng_;
+  std::vector<char> live_;
+  std::vector<round_t> down_since_;
+  std::size_t live_count_ = 0;
+  graph current_;
+  round_t current_round_ = ~round_t{0};
+};
+
+/// The paper's actual model class (Kuhn-Lynch-Oshman T-interval
+/// connectivity, instanced at its cleanest): a fresh random connected
+/// spanning subgraph is drawn every T rounds and held fixed for the whole
+/// window.  Unlike `t_interval_adversary` (stable tree, churning extras)
+/// nothing at all moves inside a window, and unlike the T-stability
+/// wrapper the window schedule is the family's own parameter, composable
+/// with any protocol's `t_stability`.
+class t_interval_random_adversary final : public adversary {
+ public:
+  t_interval_random_adversary(std::size_t n, round_t t,
+                              std::size_t extra_edges, std::uint64_t seed);
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override;
+  round_t interval() const noexcept { return t_; }
+
+ private:
+  std::size_t n_;
+  round_t t_;
+  std::size_t extra_edges_;
+  rng rng_;
+  graph current_;
+  round_t window_ = ~round_t{0};
+};
+
+/// Adaptive worst case: every round the adversary sorts nodes by current
+/// knowledge, splits them at the widest knowledge gap, and commits two
+/// dense sides joined by a single bridge — so the cut between the
+/// have-nots and the haves carries exactly one O(b)-bit message per round.
+/// This is the frontier-min-cut engineered on purpose: token-forwarding
+/// protocols are throttled to the bridge bandwidth while coded broadcasts
+/// keep every bridge message innovative (§5's gap, made adversarial).
+class adaptive_min_cut_adversary final : public adversary {
+ public:
+  /// `clique_sides`: dense (clique) sides when true, knowledge-sorted
+  /// paths when false (paths additionally starve intra-side mixing).
+  explicit adaptive_min_cut_adversary(bool clique_sides = true)
+      : clique_sides_(clique_sides) {}
+  const graph& topology(round_t r, const knowledge_view& view) override;
+  std::string name() const override { return "adaptive-min-cut"; }
+
+  /// The split committed on the most recent round: nodes in the low-
+  /// knowledge side (1 = low side), for the cut-size invariant tests.
+  const std::vector<char>& last_low_side() const noexcept { return low_side_; }
+
+ private:
+  bool clique_sides_;
+  graph current_;
+  std::vector<char> low_side_;
+};
+
 /// Convenience factories for the standard adversaries used by tests and
 /// benches.  `seed` feeds the adversary's private randomness.
 std::unique_ptr<adversary> make_static_path(std::size_t n);
 std::unique_ptr<adversary> make_static_star(std::size_t n);
-std::unique_ptr<adversary> make_permuted_path(std::size_t n, std::uint64_t seed);
+std::unique_ptr<adversary> make_permuted_path(std::size_t n,
+                                              std::uint64_t seed);
 std::unique_ptr<adversary> make_random_connected(std::size_t n,
                                                  std::size_t extra_edges,
                                                  std::uint64_t seed);
@@ -174,5 +307,17 @@ std::unique_ptr<adversary> make_t_stable(std::unique_ptr<adversary> inner,
 std::unique_ptr<adversary> make_t_interval(std::size_t n, round_t t,
                                            std::size_t extra_edges,
                                            std::uint64_t seed);
+std::unique_ptr<adversary> make_static_clique(std::size_t n);
+std::unique_ptr<adversary> make_edge_markov(std::unique_ptr<adversary> base,
+                                            double p_on, double p_off,
+                                            std::uint64_t seed);
+std::unique_ptr<adversary> make_churn(std::unique_ptr<adversary> base,
+                                      double rate, double rejoin,
+                                      std::size_t min_live, round_t max_down,
+                                      std::uint64_t seed);
+std::unique_ptr<adversary> make_t_interval_random(std::size_t n, round_t t,
+                                                  std::size_t extra_edges,
+                                                  std::uint64_t seed);
+std::unique_ptr<adversary> make_adaptive_min_cut(bool clique_sides = true);
 
 }  // namespace ncdn

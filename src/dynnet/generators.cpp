@@ -152,4 +152,85 @@ graph random_geometric(std::size_t n, double radius, rng& r) {
   return g;
 }
 
+namespace {
+
+// Minimal union-find over node ids (path halving + union by id, which keeps
+// representative choice deterministic).
+class dsu {
+ public:
+  explicit dsu(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<node_id>(i);
+  }
+
+  node_id find(node_id x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(node_id a, node_id b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (b < a) std::swap(a, b);  // smallest id wins: deterministic reps
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<node_id> parent_;
+};
+
+}  // namespace
+
+std::size_t make_connected_over(graph& g, const graph& base,
+                                const std::vector<char>* keep) {
+  const std::size_t n = g.order();
+  NCDN_EXPECTS(base.order() == n);
+  NCDN_EXPECTS(keep == nullptr || keep->size() == n);
+  auto kept = [&](node_id u) { return keep == nullptr || (*keep)[u] != 0; };
+
+  dsu components(n);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v : g.neighbors(u)) {
+      if (u < v) components.unite(u, v);
+    }
+  }
+
+  std::size_t added = 0;
+  // First pass: base edges between kept nodes, in adjacency order, so the
+  // repair reuses links the base topology actually offers.
+  for (node_id u = 0; u < n; ++u) {
+    if (!kept(u)) continue;
+    for (node_id v : base.neighbors(u)) {
+      if (u < v && kept(v) && components.unite(u, v)) {
+        if (!g.has_edge(u, v)) g.add_edge(u, v);
+        ++added;
+      }
+    }
+  }
+  // Fallback: the base cannot bridge (it may only connect the components
+  // through excluded nodes); the adversary is free to invent edges, so link
+  // each remaining component's representative to the smallest kept node.
+  node_id anchor = 0;
+  bool have_anchor = false;
+  for (node_id u = 0; u < n; ++u) {
+    if (kept(u)) {
+      anchor = u;
+      have_anchor = true;
+      break;
+    }
+  }
+  if (!have_anchor) return added;
+  for (node_id u = 0; u < n; ++u) {
+    if (kept(u) && components.unite(anchor, u)) {
+      g.add_edge(anchor, u);
+      ++added;
+    }
+  }
+  return added;
+}
+
 }  // namespace ncdn::gen

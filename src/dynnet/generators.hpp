@@ -35,4 +35,14 @@ graph permuted_path(std::size_t n, rng& r);
 /// bridging nearest components (models a mobile ad-hoc mesh).
 graph random_geometric(std::size_t n, double radius, rng& r);
 
+/// Makes `g` connected in place by adding edges, preferring edges of
+/// `base` (scanned in deterministic adjacency order) and falling back to
+/// direct links between component representatives when `base` itself
+/// cannot bridge the gap.  `keep` (optional, size n) restricts the repair
+/// to the marked nodes: unmarked nodes are left untouched (and isolated
+/// unmarked nodes do not count against connectivity).  Returns the number
+/// of edges added.
+std::size_t make_connected_over(graph& g, const graph& base,
+                                const std::vector<char>* keep = nullptr);
+
 }  // namespace ncdn::gen

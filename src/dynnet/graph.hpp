@@ -53,7 +53,8 @@ class graph {
   std::vector<std::uint32_t> bfs_distances(node_id src) const;
 
   /// BFS distances from a set of sources (multi-source BFS).
-  std::vector<std::uint32_t> bfs_distances(const std::vector<node_id>& srcs) const;
+  std::vector<std::uint32_t> bfs_distances(
+      const std::vector<node_id>& srcs) const;
 
   /// Exact diameter via n BFS runs; infinite_distance if disconnected.
   std::uint32_t diameter() const;

@@ -36,6 +36,8 @@ struct round_digest {
   std::size_t messages = 0;              // nodes that broadcast
   std::size_t message_bits = 0;          // total bits this round
   std::size_t max_message_bits = 0;      // largest single message this round
+  std::size_t topology_edges = 0;        // |E| of the round's graph (0 when
+                                         // silent: no topology committed)
   bool silent = false;
 };
 
@@ -85,6 +87,7 @@ class network {
     NCDN_ASSERT(g.order() == n_);
 
     round_digest digest;
+    digest.topology_edges = g.edge_count();
     messages_of_round<Msg> msgs;
     msgs.reserve(n_);
     for (node_id u = 0; u < n_; ++u) {

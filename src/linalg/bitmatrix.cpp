@@ -35,7 +35,9 @@ std::vector<std::size_t> gf2_rref(std::vector<bitvec>& rows,
   std::vector<std::size_t> order(reduced.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return pivots[a] < pivots[b]; });
+            [&](std::size_t a, std::size_t b) {
+              return pivots[a] < pivots[b];
+            });
   std::vector<bitvec> sorted;
   std::vector<std::size_t> sorted_pivots;
   sorted.reserve(reduced.size());

@@ -49,7 +49,9 @@ class bitvec {
   /// this ^= other (vector addition over GF(2)).
   void xor_with(const bitvec& other) noexcept {
     NCDN_EXPECTS(bits_ == other.bits_);
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] ^= other.words_[w];
+    }
   }
 
   /// Index of first set bit, or size() if none.
@@ -91,7 +93,9 @@ class bitvec {
 
   std::size_t popcount() const noexcept {
     std::size_t c = 0;
-    for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    for (std::uint64_t w : words_) {
+      c += static_cast<std::size_t>(std::popcount(w));
+    }
     return c;
   }
 

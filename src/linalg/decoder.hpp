@@ -241,8 +241,9 @@ class field_decoder {
     NCDN_EXPECTS(i < coeff_dim_);
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       if (pivots_[r] == i) {
-        return row_type(rows_[r].begin() + static_cast<std::ptrdiff_t>(coeff_dim_),
-                        rows_[r].end());
+        return row_type(
+            rows_[r].begin() + static_cast<std::ptrdiff_t>(coeff_dim_),
+            rows_[r].end());
       }
     }
     NCDN_ASSERT(false);

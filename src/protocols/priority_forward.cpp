@@ -56,7 +56,8 @@ round_task<priority_forward_result> priority_forward_machine(
   if (!cfg.skip_greedy_phase) {
     greedy_forward_config gf;
     gf.b_bits = b;
-    gf.stop_when_gather_below = std::max<std::size_t>(2, greedy_budget.tokens_total);
+    gf.stop_when_gather_below =
+        std::max<std::size_t>(2, greedy_budget.tokens_total);
     const protocol_result greedy =
         co_await greedy_forward_machine(net, st, gf);
     res.greedy_epochs = greedy.epochs;

@@ -122,7 +122,8 @@ class parser {
  private:
   void fail(parse_result& res, const std::string& why) {
     if (res.error.empty()) {
-      res.error = "json parse error at byte " + std::to_string(pos_) + ": " + why;
+      res.error =
+          "json parse error at byte " + std::to_string(pos_) + ": " + why;
     }
   }
 

@@ -6,66 +6,138 @@ namespace ncdn::runner {
 
 namespace {
 
-struct proto_spec {
-  const char* name;  // protocol registry name
-  std::size_t b_bits;
-  round_t t_stability;
-  std::vector<std::size_t> sizes;  // n (= k: one token per node)
-  param_map params;                // extra spec overrides for every cell
+// One point on a protocol row's size ladder: the instance size and the
+// message budget that makes it feasible (coded families need
+// b >= (k + d) / 2 so k+d-bit coded messages fit the O(b) budget).
+struct size_spec {
+  std::size_t n;
+  std::size_t b;
 };
 
+// One protocol row of the matrix: a registry protocol, an optional
+// bracketed variant label (grid rows), the stability window its engines
+// need, the size ladder, and the spec params pinned for every cell.
+// `partition_tolerant` rows are additionally crossed with the live-subset
+// (churn) adversary axis; the session rejects that pairing for everyone
+// else, so the matrix never generates it.
+struct matrix_row {
+  const char* alg;
+  const char* variant;  // "" = canonical row (names stay stable)
+  round_t t_stability;
+  std::vector<size_spec> sizes;
+  param_map params;
+  bool partition_tolerant = false;
+};
+
+// One adversary-axis cell: a registry adversary plus an optional variant
+// label and its pinned params.
+struct adv_cell {
+  const char* name;
+  const char* variant;  // "" = bare family name
+  param_map params;
+};
+
+std::string spec_segment(const char* name, const char* variant) {
+  std::string s = name;
+  if (variant[0] != '\0') s += std::string("[") + variant + "]";
+  return s;
+}
+
 std::vector<scenario> build_registry() {
-  // Sizes keep the default full sweep interactive; NCDN-scale sweeps come
-  // from explicit --seeds / future size tiers, not from inflating these.
-  // d = 8 everywhere; b per protocol family (rlnc-direct needs
-  // b >= (k + d) / 2 to fit its k+d-bit coded messages in the O(b) budget).
-  const std::vector<proto_spec> protos = {
-      {"token-forwarding", 16, 1, {16, 32}},
-      {"token-forwarding-pipelined", 16, 1, {16}},
-      {"naive-indexed", 32, 1, {16, 32}},
-      {"greedy-forward", 32, 1, {16, 32}},
-      {"priority-forward/flooding", 32, 1, {16}},
-      {"priority-forward/charged", 32, 1, {16}},
-      {"rlnc-direct", 32, 1, {16, 32}},
+  // The adversary axis.  The first block is the full-connectivity
+  // families (every protocol crosses them); the churn block only pairs
+  // with partition-tolerant rows.  Variant params are pinned here so the
+  // cells stay stable if a registry default ever moves.
+  const std::vector<adv_cell> full_axis = {
+      {"static-path", "", {}},
+      {"static-star", "", {}},
+      {"static-clique", "", {}},
+      {"permuted-path", "", {}},
+      {"random-connected", "", {}},
+      {"random-geometric", "", {}},
+      {"sorted-path", "", {}},
+      {"t-interval", "", {}},
+      {"t-interval-random", "", {{"t", "4"}}},
+      {"t-interval-random", "T=16", {{"t", "16"}}},
+      {"edge-markov", "", {{"p_on", "0.15"}, {"p_off", "0.3"}}},
+      {"edge-markov", "sticky", {{"p_on", "0.05"}, {"p_off", "0.05"}}},
+      {"adaptive-min-cut", "", {}},
+      // The modifier layer exercised end-to-end: edge-markov dynamics over
+      // a geometric (ad-hoc mesh) base.
+      {"compose", "markov-geo", {{"modifier", "edge-markov"},
+                                 {"base", "random-geometric"}}},
+  };
+  const std::vector<adv_cell> churn_axis = {
+      {"churn", "", {{"rate", "0.1"}, {"max_down", "4"}}},
+      {"churn", "heavy", {{"rate", "0.25"}, {"max_down", "4"}}},
+      {"compose", "churn-geo", {{"modifier", "churn"},
+                                {"base", "random-geometric"},
+                                {"rate", "0.1"},
+                                {"max_down", "4"}}},
+  };
+
+  // The protocol rows.  d = 8 everywhere; b per size point.  Canonical
+  // rows (empty variant) keep the historical names; grid rows append a
+  // bracketed label so they are purely additive.
+  const std::vector<matrix_row> rows = {
+      {"token-forwarding", "", 1, {{16, 16}, {32, 16}, {64, 16}}, {}},
+      {"token-forwarding-pipelined", "", 1, {{16, 16}}, {}},
+      {"naive-indexed", "", 1, {{16, 32}, {32, 32}, {64, 48}}, {}},
+      {"greedy-forward", "", 1, {{16, 32}, {32, 32}}, {}},
+      {"priority-forward/flooding", "", 1, {{16, 32}}, {}},
+      {"priority-forward/charged", "", 1, {{16, 32}}, {}},
+      {"rlnc-direct", "", 1, {{16, 32}, {32, 32}, {64, 48}, {128, 80}},
+       {}, true},
       // Coding-backend cells (PR3): the density/delay frontier the sparse
-      // and generation backends trade along.  gen_size 8 keeps even n16
-      // multi-generation; rho pinned so the cells stay stable if the
-      // registry default moves.
-      {"rlnc-sparse", 32, 1, {16, 32}, {{"rho", "0.2"}}},
-      {"rlnc-gen", 32, 1, {16, 32}, {{"gen_size", "8"}, {"band_overlap", "2"}}},
-      {"centralized-rlnc", 32, 1, {16}},
-      {"tstable/auto", 32, 4, {16}},
+      // and generation backends trade along, plus grid points opening the
+      // sparser / larger-generation corners.
+      {"rlnc-sparse", "", 1, {{16, 32}, {32, 32}}, {{"rho", "0.2"}}, true},
+      {"rlnc-sparse", "rho=0.05", 1, {{32, 32}}, {{"rho", "0.05"}}, true},
+      {"rlnc-gen", "", 1, {{16, 32}, {32, 32}},
+       {{"gen_size", "8"}, {"band_overlap", "2"}}, true},
+      {"rlnc-gen", "g=16", 1, {{64, 48}},
+       {{"gen_size", "16"}, {"band_overlap", "4"}}, true},
+      {"centralized-rlnc", "", 1, {{16, 32}, {32, 32}}, {}, true},
+      {"tstable/auto", "", 4, {{16, 32}}, {}},
       // Patching needs a window long enough to build patches and run full
       // broadcast cycles inside it (§8); T = 256 at n = 32, b = 16 is the
       // sizing the patch tests prove feasible.
-      {"tstable/patch", 16, 256, {32}},
-      {"tstable/chunked", 32, 4, {16}},
-  };
-  const std::vector<std::string> advs = {
-      "static-path",      "static-star",      "permuted-path",
-      "random-connected", "random-geometric", "sorted-path",
+      {"tstable/patch", "", 256, {{32, 16}}, {}},
+      {"tstable/chunked", "", 4, {{16, 32}}, {}},
+      {"tstable/plain", "", 4, {{16, 32}}, {}},
   };
 
   std::vector<scenario> out;
-  for (const proto_spec& p : protos) {
-    // Every scenario cell must resolve through the registries; a typo'd
-    // name fails here, at registry build time, not mid-sweep.
-    NCDN_ASSERT(protocol_registry::instance().find(p.name) != nullptr);
-    for (std::size_t n : p.sizes) {
-      for (const std::string& adv : advs) {
-        NCDN_ASSERT(adversary_registry::instance().find(adv) != nullptr);
+  for (const matrix_row& row : rows) {
+    // Every cell must resolve through the registries; a typo'd name fails
+    // here, at registry build time, not mid-sweep.
+    NCDN_ASSERT(protocol_registry::instance().find(row.alg) != nullptr);
+    const std::string alg_segment = spec_segment(row.alg, row.variant);
+    for (const size_spec& size : row.sizes) {
+      auto emit = [&](const adv_cell& adv) {
+        NCDN_ASSERT(adversary_registry::instance().find(adv.name) != nullptr);
         scenario s;
-        s.alg = p.name;
-        s.adv = adv;
-        s.params = p.params;
-        s.prob.n = n;
-        s.prob.k = n;
+        s.alg = row.alg;
+        s.adv = adv.name;
+        s.params = row.params;
+        for (const auto& [key, value] : adv.params) {
+          NCDN_ASSERT(s.params.count(key) == 0);  // axes must stay disjoint
+          s.params[key] = value;
+        }
+        s.prob.n = size.n;
+        s.prob.k = size.n;
         s.prob.d = 8;
-        s.prob.b = p.b_bits;
-        s.prob.t_stability = p.t_stability;
+        s.prob.b = size.b;
+        s.prob.t_stability = row.t_stability;
         s.prob.place = placement::one_per_node;
-        s.name = s.alg + "/" + s.adv + "/n" + std::to_string(n);
+        s.tier = tier_for(size.n);
+        s.name = alg_segment + "/" + spec_segment(adv.name, adv.variant) +
+                 "/n" + std::to_string(size.n);
         out.push_back(std::move(s));
+      };
+      for (const adv_cell& adv : full_axis) emit(adv);
+      if (row.partition_tolerant) {
+        for (const adv_cell& adv : churn_axis) emit(adv);
       }
     }
   }
@@ -73,6 +145,12 @@ std::vector<scenario> build_registry() {
 }
 
 }  // namespace
+
+std::string tier_for(std::size_t n) {
+  if (n <= 16) return "smoke";
+  if (n <= 32) return "full";
+  return "nightly";
+}
 
 const std::vector<scenario>& scenario_registry() {
   static const std::vector<scenario> registry = build_registry();
@@ -92,6 +170,14 @@ std::vector<scenario> scenarios_matching(const std::string& pattern) {
     if (pattern.empty() || s.name.find(pattern) != std::string::npos) {
       out.push_back(s);
     }
+  }
+  return out;
+}
+
+std::vector<scenario> scenarios_in_tier(const std::string& tier) {
+  std::vector<scenario> out;
+  for (const scenario& s : scenario_registry()) {
+    if (s.tier == tier) out.push_back(s);
   }
   return out;
 }

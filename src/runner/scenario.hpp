@@ -1,18 +1,27 @@
-// Scenario registry: named (protocol x adversary x size) configurations.
+// Scenario registry: the generated (protocol x adversary x size x params)
+// matrix, every cell under a stable name.
 //
 // A scenario is everything a session needs except the seed, under a stable
 // name like "greedy-forward/permuted-path/n32".  Scenarios carry *registry
 // spec strings* — the scenario name is the single source of truth, built
 // from the same names `ncdn-run list-algorithms` / `list-adversaries`
-// print, so there are no parallel enum tables to fall out of sync.  The
-// built-in registry spans the protocol families of the paper — flooding
-// baselines (Thm 2.1), the forwarding ladder (naive-indexed Cor 7.1,
-// greedy Thm 7.3, priority Thm 7.5 — all driven by the random-forward
-// gathering primitive of Lemma 7.2), direct and centralized RLNC
-// (Lemma 5.3, Cor 2.6), and the T-stable engines (§8) — against every
-// adversary the old facade knew.  Sweep tooling (ncdn-run, tests, perf
-// tracking) selects by exact name or substring so new scenarios are
-// additive, never breaking existing sweeps.
+// print, so there are no parallel enum tables to fall out of sync.
+//
+// Since PR5 the registry is no longer a hand-enumerated list: it is the
+// cross product of a declared protocol-row table (protocol, param variants,
+// per-size message budgets) and a declared adversary-axis table (family,
+// param variants), expanded by `build_registry`.  Parameterized variants
+// append a bracketed label to the spec segment ("rlnc-sparse[rho=0.05]",
+// "edge-markov[sticky]"), so canonical cell names never change when a grid
+// row is added.  Every cell carries a `tier` label — "smoke" (n <= 16,
+// gates PRs), "full" (n <= 32), "nightly" (n64/n128, scheduled CI) — so CI
+// can select slices without naming scenarios one by one.  Live-subset
+// adversaries (the churn family) are only crossed with partition-tolerant
+// protocols; the matrix never emits a pairing the session would reject.
+//
+// Sweep tooling (ncdn-run, tests, perf tracking) selects by exact name,
+// substring, or tier, so new scenarios are additive, never breaking
+// existing sweeps.
 #pragma once
 
 #include <string>
@@ -23,18 +32,23 @@
 namespace ncdn::runner {
 
 struct scenario {
-  std::string name;  // "<algorithm>/<adversary>/n<nodes>"
+  std::string name;  // "<algorithm>[variant]/<adversary>[variant]/n<nodes>"
   std::string alg;   // protocol registry name
   std::string adv;   // adversary registry name
-  param_map params;  // extra spec overrides (usually empty for built-ins)
+  std::string tier;  // "smoke" | "full" | "nightly"
+  param_map params;  // spec overrides (protocol + adversary variant params)
   problem prob;
 
   protocol_spec protocol() const { return {alg, params}; }
   adversary_spec adversary() const { return {adv, params}; }
 };
 
-/// The built-in scenarios, built once, ordered deterministically
-/// (protocol-major, then adversary, then size).
+/// The tier label a cell of `n` nodes lands in: n <= 16 "smoke",
+/// n <= 32 "full", larger "nightly".
+std::string tier_for(std::size_t n);
+
+/// The built-in scenario matrix, generated once, ordered deterministically
+/// (protocol-row-major, then size, then adversary).
 const std::vector<scenario>& scenario_registry();
 
 /// Exact-name lookup; nullptr when absent.
@@ -42,6 +56,9 @@ const scenario* find_scenario(const std::string& name);
 
 /// All scenarios whose name contains `pattern` (empty selects everything).
 std::vector<scenario> scenarios_matching(const std::string& pattern);
+
+/// All scenarios labelled `tier` ("smoke", "full", "nightly").
+std::vector<scenario> scenarios_in_tier(const std::string& tier);
 
 /// Distinct algorithm / adversary counts of a scenario list (coverage
 /// reporting; the sweep acceptance gate asserts these floors).

@@ -17,7 +17,8 @@ std::uint64_t cell_seed(std::uint64_t base_seed,
                         const std::string& scenario_name, std::size_t trial) {
   std::uint64_t state = (base_seed ^
                          fnv1a(scenario_name.data(), scenario_name.size())) +
-                        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(trial);
+                        0x9e3779b97f4a7c15ULL *
+                            static_cast<std::uint64_t>(trial);
   std::uint64_t seed = splitmix64(state);
   // run_dissemination derives sub-seeds multiplicatively, so steer clear of
   // the one degenerate value.
@@ -159,6 +160,9 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(c, "scenario", scen.name);
     json::put(c, "algorithm", scen.alg);
     json::put(c, "adversary", scen.adv);
+    // v2 addendum (PR5): the CI tier the cell belongs to ("smoke" gates
+    // PRs, "full"/"nightly" run on the schedule).
+    json::put(c, "tier", scen.tier);
     json::put(c, "n", scen.prob.n);
     json::put(c, "k", scen.prob.k);
     json::put(c, "d", scen.prob.d);
@@ -167,7 +171,8 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(c, "trial", cell.trial);
     json::put(c, "seed", std::to_string(cell.seed));
     json::put(c, "rounds", std::uint64_t{cell.report.rounds});
-    json::put(c, "completion_round", std::uint64_t{cell.report.completion_round});
+    json::put(c, "completion_round",
+              std::uint64_t{cell.report.completion_round});
     json::put(c, "complete", cell.report.complete);
     json::put(c, "early_stop", cell.report.early_stop);
     json::put(c, "max_message_bits", cell.report.max_message_bits);

@@ -46,8 +46,8 @@ struct sweep_result {
 /// The seed a cell runs with: a splitmix64 mix of the base seed, a hash of
 /// the scenario name, and the trial index.  Pure function of its inputs, so
 /// adding scenarios or reordering the sweep never perturbs existing cells.
-std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& scenario_name,
-                        std::size_t trial);
+std::uint64_t cell_seed(std::uint64_t base_seed,
+                        const std::string& scenario_name, std::size_t trial);
 
 /// Runs every (scenario, trial) cell across the worker pool.
 sweep_result run_sweep(std::vector<scenario> scenarios,

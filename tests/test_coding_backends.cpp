@@ -254,7 +254,8 @@ struct trade_off_case {
   param_map params;
 };
 
-TEST(backend_property, backends_complete_on_all_six_topologies_and_trade_rounds) {
+TEST(backend_property,
+     backends_complete_on_all_six_topologies_and_trade_rounds) {
   const char* topologies[] = {"static-path",      "static-star",
                               "permuted-path",    "random-connected",
                               "random-geometric", "sorted-path"};

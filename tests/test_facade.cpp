@@ -50,7 +50,8 @@ INSTANTIATE_TEST_SUITE_P(
         facade_case{algorithm::priority_forward_charged,
                     topology_kind::sorted_path},
         facade_case{algorithm::tstable_auto, topology_kind::permuted_path, 8},
-        facade_case{algorithm::tstable_chunked, topology_kind::permuted_path, 8},
+        facade_case{algorithm::tstable_chunked, topology_kind::permuted_path,
+                    8},
         facade_case{algorithm::centralized_rlnc, topology_kind::static_star}));
 
 TEST(naive_indexed, schedule_matches_corollary_7_1) {

@@ -29,8 +29,8 @@ TEST_P(flooding_suite, disseminates_everything) {
   const flood_case c = GetParam();
   rng r(1000 + c.n + c.k);
   const auto dist = make_distribution(
-      c.n, c.k, c.d, c.k == c.n ? placement::one_per_node : placement::random_spread,
-      r);
+      c.n, c.k, c.d,
+      c.k == c.n ? placement::one_per_node : placement::random_spread, r);
   auto adv = build_adversary(c.adversary, c.n, 17);
   network net(c.n, c.b, *adv, 23);
   token_state st(dist);
@@ -92,7 +92,9 @@ TEST(flooding, larger_messages_cut_rounds_linearly) {
     cfg.b_bits = b;
     const protocol_result res = run_flooding(net, st, cfg);
     EXPECT_TRUE(res.complete);
-    if (prev != 0) EXPECT_EQ(res.rounds * 2, prev);
+    if (prev != 0) {
+      EXPECT_EQ(res.rounds * 2, prev);
+    }
     prev = res.rounds;
   }
 }

@@ -108,6 +108,21 @@ TEST_P(registry_cross_suite, string_api_completes_and_matches_legacy_facade) {
   const problem prob = tiny_problem(proto);
   const std::uint64_t seed = 17;
 
+  // Live-subset adversaries (churn) only pair with partition-tolerant
+  // protocols; every other combination must be rejected cleanly at
+  // construction, never aborted mid-run.
+  {
+    const protocol_entry* entry = protocol_registry::instance().find(proto);
+    ASSERT_NE(entry, nullptr);
+    const auto adv_probe = build_adversary(prob, adversary_spec{adv, {}}, 1);
+    if (entry->needs_full_connectivity && !adv_probe->full_connectivity()) {
+      EXPECT_THROW(session(prob, protocol_spec{proto, {}},
+                           adversary_spec{adv, {}}, seed),
+                   std::invalid_argument);
+      return;
+    }
+  }
+
   session s(prob, protocol_spec{proto, {}}, adversary_spec{adv, {}}, seed);
   const run_report rep = s.run_to_completion();
   EXPECT_TRUE(rep.complete) << proto << " on " << adv;

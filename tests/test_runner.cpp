@@ -22,8 +22,9 @@ TEST(json, dump_and_parse_roundtrip) {
   json::put(root, "name", "a/b \"quoted\"\n\ttab");
   json::put(root, "ok", true);
   json::put(root, "missing", nullptr);
-  json::put(root, "cells", json::value{json::array{
-                               json::value{inner}, json::value{std::uint64_t{7}}}});
+  json::put(root, "cells",
+            json::value{json::array{json::value{inner},
+                                    json::value{std::uint64_t{7}}}});
 
   const std::string text = json::value{root}.dump();
   const json::parse_result parsed = json::parse(text);
@@ -117,10 +118,12 @@ TEST(json, unpaired_surrogates_are_rejected) {
 
 TEST(scenario_registry, meets_sweep_coverage_floors) {
   const std::vector<scenario>& all = scenario_registry();
-  EXPECT_GE(all.size(), 24u);
-  // The acceptance gate: >= 6 protocols x >= 4 adversaries.
-  EXPECT_GE(distinct_algorithms(all), 6u);
-  EXPECT_GE(distinct_adversaries(all), 4u);
+  // The PR5 acceptance gate: the generated matrix spans >= 400 cells
+  // over >= 10 protocols x >= 10 adversary families, tier-labelled.
+  EXPECT_GE(all.size(), 400u);
+  EXPECT_GE(distinct_algorithms(all), 10u);
+  EXPECT_GE(distinct_adversaries(all), 10u);
+  for (const scenario& s : all) EXPECT_FALSE(s.tier.empty()) << s.name;
 
   // Names are unique and resolvable.
   for (const scenario& s : all) {
@@ -204,7 +207,8 @@ TEST(sweep, parallel_sweep_emits_valid_complete_json) {
     EXPECT_TRUE(row.find("all_complete")->as_bool());
     const json::value* rounds = row.find("rounds");
     ASSERT_NE(rounds, nullptr);
-    EXPECT_LE(rounds->find("min")->as_number(), rounds->find("max")->as_number());
+    EXPECT_LE(rounds->find("min")->as_number(),
+              rounds->find("max")->as_number());
   }
 }
 

@@ -132,7 +132,8 @@ class tstable_dissem_suite : public ::testing::TestWithParam<tstable_case> {};
 TEST_P(tstable_dissem_suite, disseminates_everything) {
   const tstable_case c = GetParam();
   rng r(100 + c.n + static_cast<std::size_t>(c.t));
-  const auto dist = make_distribution(c.n, c.k, c.d, placement::one_per_node, r);
+  const auto dist =
+      make_distribution(c.n, c.k, c.d, placement::one_per_node, r);
   auto adv = make_t_stable(make_permuted_path(c.n, 29), c.t);
   network net(c.n, c.b, *adv, 31);
   token_state st(dist);

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Bench-trajectory gate: diff two directories of BENCH_*.json files.
+
+Usage: bench_diff.py OLD_DIR NEW_DIR [--threshold 0.25]
+       [--wall-clock-threshold 0.5] [--ignore-throughput]
+
+Compares every experiment present in both directories, row by row: rows are
+keyed by their string-valued cells (e.g. adversary + protocol), numeric
+cells are compared directionally, and any metric that regresses by more
+than its threshold fails the job (exit 1).  Coverage shrinking — an
+experiment, row, or gated metric that vanished since the previous run —
+fails too.
+
+Direction is inferred from the metric name:
+  lower is better:  *rounds*, *xors*, *bits*, *time*, *secs*, *epochs*,
+                    *latency*
+  higher is better: *per_sec*, *throughput*, *rate*, *speedup*, *sessions*
+  anything else is printed as informational and never gates.
+
+Wall-clock-derived metrics (*per_sec*, *throughput*, *time*, *secs*) gate
+at the separate --wall-clock-threshold (default 50%): GitHub-hosted
+runners span CPU generations and noisy neighbors, so run-to-run timing
+varies far more than the simulation metrics do.  --ignore-throughput
+skips them entirely: use it when OLD_DIR is the committed baseline, which
+was produced on different hardware — simulation metrics (rounds, XORs)
+are machine-independent and stay gating either way.
+"""
+import argparse
+import glob
+import json
+import os
+import sys
+
+LOWER_BETTER = ("rounds", "xors", "bits", "time", "secs", "epochs",
+                "latency")
+HIGHER_BETTER = ("per_sec", "throughput", "rate", "speedup", "sessions")
+WALL_CLOCK = ("per_sec", "throughput", "time", "secs")
+
+
+def direction(name):
+    # Higher-better tags win ties: "rounds_per_sec" contains both "rounds"
+    # and "per_sec" and is a throughput, not a round count.
+    lname = name.lower()
+    if any(tag in lname for tag in HIGHER_BETTER):
+        return "higher"
+    if any(tag in lname for tag in LOWER_BETTER):
+        return "lower"
+    return None
+
+
+def is_wall_clock(name):
+    lname = name.lower()
+    return any(tag in lname for tag in WALL_CLOCK)
+
+
+def row_key(row):
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def rows_of(doc):
+    """(section, key) -> row dict; falls back to the section means when row
+    keys collide (a section without distinguishing string cells)."""
+    out = {}
+    for section, body in doc.get("sections", {}).items():
+        rows = body.get("rows", [])
+        keys = [row_key(r) for r in rows]
+        if len(set(keys)) == len(rows) and rows:
+            for key, row in zip(keys, rows):
+                out[(section, key)] = row
+        else:
+            out[(section, ("__means__",))] = body.get("means", {})
+    return out
+
+
+def label(section, key):
+    parts = [v for _, v in key if v != "__means__"] if key != ("__means__",) \
+        else ["(means)"]
+    return section + ":" + "/".join(str(p) for p in parts) if parts else section
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old_dir")
+    ap.add_argument("new_dir")
+    ap.add_argument("--threshold", type=float, default=0.25)
+    ap.add_argument("--wall-clock-threshold", type=float, default=0.5)
+    ap.add_argument("--ignore-throughput", action="store_true")
+    args = ap.parse_args()
+
+    regressions = []
+    compared = 0
+    experiments = 0
+    # A trajectory gate must also notice coverage *shrinking*: an
+    # experiment, row, or gated metric that was measured last time and has
+    # vanished from the new run fails just like a slow-down would.
+    new_names = {os.path.basename(p) for p in
+                 glob.glob(os.path.join(args.new_dir, "BENCH_*.json"))}
+    for old_path in sorted(glob.glob(os.path.join(args.old_dir,
+                                                  "BENCH_*.json"))):
+        name = os.path.basename(old_path)
+        if name not in new_names:
+            regressions.append(f"{name}: experiment disappeared")
+            print(f"{name}: present in previous run, missing now "
+                  "REGRESSION")
+    for name in sorted(new_names):
+        new_path = os.path.join(args.new_dir, name)
+        old_path = os.path.join(args.old_dir, name)
+        if not os.path.exists(old_path):
+            print(f"{name}: new experiment, no previous point (skipped)")
+            continue
+        with open(old_path) as f:
+            old_doc = json.load(f)
+        with open(new_path) as f:
+            new_doc = json.load(f)
+        experiments += 1
+        old_rows = rows_of(old_doc)
+        new_rows = rows_of(new_doc)
+        for loc, old_row in sorted(old_rows.items()):
+            new_row = new_rows.get(loc)
+            if new_row is None:
+                regressions.append(f"{name} {label(*loc)}: row disappeared")
+                print(f"{name} {label(*loc)}: row disappeared REGRESSION")
+                continue
+            for metric, old_value in sorted(old_row.items()):
+                if not isinstance(old_value, (int, float)) \
+                        or isinstance(old_value, bool):
+                    continue
+                if direction(metric) is None:
+                    continue
+                if args.ignore_throughput and is_wall_clock(metric):
+                    continue
+                if not isinstance(new_row.get(metric), (int, float)):
+                    where = f"{name} {label(*loc)} {metric}"
+                    regressions.append(f"{where}: metric disappeared")
+                    print(f"{where}: metric disappeared REGRESSION")
+        for loc, new_row in sorted(new_rows.items()):
+            old_row = old_rows.get(loc)
+            if old_row is None:
+                print(f"{name} {label(*loc)}: new row (skipped)")
+                continue
+            for metric, new_value in sorted(new_row.items()):
+                if not isinstance(new_value, (int, float)) \
+                        or isinstance(new_value, bool):
+                    continue
+                old_value = old_row.get(metric)
+                if not isinstance(old_value, (int, float)) \
+                        or isinstance(old_value, bool):
+                    continue
+                sense = direction(metric)
+                where = f"{name} {label(*loc)} {metric}"
+                if sense is None:
+                    print(f"{where}: {old_value:.6g} -> {new_value:.6g} "
+                          "(informational, not gated)")
+                    continue
+                if args.ignore_throughput and is_wall_clock(metric):
+                    continue
+                compared += 1
+                if old_value == 0:
+                    print(f"{where}: {old_value} -> {new_value} "
+                          "(zero baseline, not gated)")
+                    continue
+                threshold = (args.wall_clock_threshold
+                             if is_wall_clock(metric) else args.threshold)
+                change = (new_value - old_value) / abs(old_value)
+                worse = change if sense == "lower" else -change
+                verdict = "REGRESSION" if worse > threshold else "ok"
+                print(f"{where}: {old_value:.6g} -> {new_value:.6g} "
+                      f"({change:+.1%}, {sense} is better, gate "
+                      f"{threshold:.0%}) {verdict}")
+                if worse > threshold:
+                    regressions.append(where)
+
+    print(f"\ncompared {compared} metric(s) across {experiments} "
+          f"experiment(s); {len(regressions)} regression(s) (gates: "
+          f"{args.threshold:.0%} simulation, "
+          f"{args.wall_clock_threshold:.0%} wall-clock)")
+    if experiments == 0:
+        print("warning: no overlapping experiments found", file=sys.stderr)
+    for r in regressions:
+        print(f"FAIL: {r}", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

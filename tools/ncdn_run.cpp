@@ -15,8 +15,10 @@
 //   ncdn-run sweep [options]         parallel sweep, JSON results
 //     --match PATTERN   substring filter over scenario names (repeatable;
 //                       a scenario is swept if any pattern matches)
+//     --tier NAME       keep only cells in tier smoke|full|nightly
+//                       (applied after --match; the CI slice selector)
 //     --filter REGEX    ECMAScript regex filter over scenario names,
-//                       applied after --match (narrow CI smoke slices)
+//                       applied after --match/--tier (narrow CI slices)
 //     --seeds N         trials per scenario            (default 3)
 //     --base-seed S     root seed                      (default 1)
 //     --threads N       worker threads; 0 = hardware   (default 0)
@@ -52,9 +54,10 @@ int usage(const char* argv0) {
                "       %s run NAME [--seed S] [--param K=V]... [--trace]\n"
                "       %s run --alg NAME --topo NAME [--seed S] "
                "[--param K=V]... [--trace]\n"
-               "       %s sweep [--match PATTERN]... [--filter REGEX] [--seeds N] "
-               "[--base-seed S] [--threads N] [--batch N] [--out PATH] "
-               "[--pretty]\n",
+               "       %s sweep [--match PATTERN]... [--tier NAME] "
+               "[--filter REGEX] "
+               "[--seeds N] [--base-seed S] [--threads N] [--batch N] "
+               "[--out PATH] [--pretty]\n",
                argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -75,9 +78,10 @@ bool parse_u64(const char* s, std::uint64_t& out) {
 int cmd_list(const std::string& pattern) {
   const std::vector<scenario> scens = scenarios_matching(pattern);
   for (const scenario& s : scens) {
-    std::printf("%-48s n=%-4zu k=%-4zu d=%-3zu b=%-3zu T=%llu\n",
+    std::printf("%-56s n=%-4zu k=%-4zu d=%-3zu b=%-3zu T=%-4llu %s\n",
                 s.name.c_str(), s.prob.n, s.prob.k, s.prob.d, s.prob.b,
-                static_cast<unsigned long long>(s.prob.t_stability));
+                static_cast<unsigned long long>(s.prob.t_stability),
+                s.tier.c_str());
   }
   std::fprintf(stderr, "%zu scenario(s)\n", scens.size());
   return 0;
@@ -219,11 +223,11 @@ int cmd_run(int argc, char** argv) {
               seed);
     if (trace) {
       s.set_observer([](const round_metrics& m) {
-        std::printf("round %6llu  know %zu..%zu (sum %zu)  msgs %zu  "
-                    "bits %zu  retired %zu%s\n",
+        std::printf("round %6llu  know %zu..%zu (sum %zu)  edges %zu  "
+                    "msgs %zu  bits %zu  retired %zu%s\n",
                     static_cast<unsigned long long>(m.round), m.min_knowledge,
-                    m.max_knowledge, m.total_knowledge, m.messages,
-                    m.message_bits, m.tokens_retired,
+                    m.max_knowledge, m.total_knowledge, m.topology_edges,
+                    m.messages, m.message_bits, m.tokens_retired,
                     m.silent ? "  (silent)" : "");
       });
     }
@@ -239,6 +243,7 @@ int cmd_run(int argc, char** argv) {
 int cmd_sweep(int argc, char** argv) {
   sweep_options opts;
   std::vector<std::string> patterns;
+  std::string tier;
   std::string filter;
   bool have_filter = false;
   std::string out_path;
@@ -258,6 +263,16 @@ int cmd_sweep(int argc, char** argv) {
       const char* p = next("--match");
       if (p == nullptr) return 2;
       patterns.emplace_back(p);
+    } else if (arg == "--tier") {
+      const char* p = next("--tier");
+      if (p == nullptr) return 2;
+      tier = p;
+      if (tier != "smoke" && tier != "full" && tier != "nightly") {
+        std::fprintf(stderr,
+                     "ncdn-run: --tier needs smoke, full, or nightly, "
+                     "got '%s'\n", p);
+        return 2;
+      }
     } else if (arg == "--filter") {
       const char* p = next("--filter");
       if (p == nullptr) return 2;
@@ -324,6 +339,13 @@ int cmd_sweep(int argc, char** argv) {
         }
       }
     }
+  }
+  if (!tier.empty()) {
+    std::vector<scenario> kept;
+    for (scenario& s : scens) {
+      if (s.tier == tier) kept.push_back(std::move(s));
+    }
+    scens = std::move(kept);
   }
   if (have_filter) {
     try {
