@@ -18,11 +18,13 @@ int main() {
     std::printf("\n(a) rounds vs n   [k = n, d = b = 16, permuted-path]\n");
     text_table t({"n", "rounds", "model n*k*d/b", "measured/model"});
     for (std::size_t n : {32u, 64u, 128u, 256u}) {
-      const std::size_t ns = static_cast<std::size_t>(n * scale);
+      const std::size_t ns =
+          static_cast<std::size_t>(static_cast<double>(n) * scale);
       problem prob{.n = ns, .k = ns, .d = 16, .b = 16};
       const double rounds = bench::mean_rounds(prob, "token-forwarding",
                                                "permuted-path", trials);
-      const double model = static_cast<double>(ns) * ns * 16 / 16;
+      const double model =
+          static_cast<double>(ns) * static_cast<double>(ns) * 16 / 16;
       t.add_row({text_table::num(ns), text_table::num(rounds),
                  text_table::num(model),
                  text_table::fixed(rounds / model, 3)});

@@ -19,8 +19,10 @@ int main() {
                                  : placement::random_spread};
     const double rounds =
         bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);
-    const double model =
-        static_cast<double>(n) * k * d / (b * b) + static_cast<double>(n) * b;
+    const double model = static_cast<double>(n) * static_cast<double>(k) *
+                             static_cast<double>(d) /
+                             static_cast<double>(b * b) +
+                         static_cast<double>(n) * static_cast<double>(b);
     xs.push_back(static_cast<double>(k));
     ys.push_back(rounds);
     t.add_row({text_table::num(k), text_table::num(rounds),

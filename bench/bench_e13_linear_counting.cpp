@@ -19,7 +19,7 @@ int main() {
   for (std::size_t n : {64u, 128u, 256u, 512u}) {
     const std::size_t d = bits_for(n) + 1;
     const std::size_t b = static_cast<std::size_t>(
-        std::ceil(std::sqrt(static_cast<double>(n) * d)));
+        std::ceil(std::sqrt(static_cast<double>(n) * static_cast<double>(d))));
     problem prob{.n = n, .k = n, .d = d, .b = b};
     const double r_nc =
         bench::mean_rounds(prob, "greedy-forward", "permuted-path", trials);

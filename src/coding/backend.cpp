@@ -129,7 +129,9 @@ class generation_coder final : public node_coder {
   std::optional<bitvec> make_combination(rng& r) override {
     reduce_all();
     std::size_t live = 0;
-    for (const generation& g : gens_) live += g.rows.empty() ? 0 : 1;
+    for (const generation& g : gens_) {
+      if (!g.rows.empty()) ++live;
+    }
     if (live == 0) return std::nullopt;
     std::size_t pick = r.below(live);
     const generation* chosen = nullptr;

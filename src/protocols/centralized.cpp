@@ -56,7 +56,7 @@ round_task<protocol_result> centralized_rlnc_machine(
 
   auto all_complete = [&]() {
     return std::all_of(decoders.begin(), decoders.end(),
-                       [](const bit_decoder& d) { return d.complete(); });
+                       [](const bit_decoder& dec) { return dec.complete(); });
   };
 
   protocol_result res;

@@ -164,7 +164,7 @@ class omniscient_chain_adversary final : public adversary {
     used[start] = true;
     while (chain.size() < n) {
       const node_id last = chain.back();
-      node_id best = n;
+      node_id best = static_cast<node_id>(n);
       int best_score = 3;
       for (node_id w = 0; w < n; ++w) {
         if (used[w]) continue;

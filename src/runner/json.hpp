@@ -20,12 +20,12 @@ namespace ncdn::json {
 
 class value;
 
+enum class kind { null, boolean, number, string, array, object };
+
 /// Arrays are plain vectors; objects are insertion-ordered key/value lists
 /// (deterministic output; duplicate keys are the caller's bug).
 using array = std::vector<value>;
 using object = std::vector<std::pair<std::string, value>>;
-
-enum class kind { null, boolean, number, string, array, object };
 
 class value {
  public:

@@ -83,8 +83,8 @@ INSTANTIATE_TEST_SUITE_P(
                       backend_case{"sparse_rho02", &make_sparse02},
                       backend_case{"gen4_band1", &make_gen41},
                       backend_case{"gen3_disjoint", &make_gen30}),
-    [](const ::testing::TestParamInfo<backend_case>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<backend_case>& param_info) {
+      return param_info.param.label;
     });
 
 TEST_P(backend_suite, seeded_tokens_decode_before_completion) {

@@ -60,7 +60,9 @@ TEST(bitvec, randomize_masks_tail) {
     v.randomize(r);
     // No bits beyond size: total popcount of words equals popcount of bits.
     std::size_t bit_pop = 0;
-    for (std::size_t i = 0; i < bits; ++i) bit_pop += v.get(i) ? 1 : 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (v.get(i)) ++bit_pop;
+    }
     EXPECT_EQ(v.popcount(), bit_pop);
   }
 }

@@ -343,9 +343,9 @@ TEST(machine, throwing_machine_marks_the_session_failed_not_reported) {
         {"test/throws-mid-run", "throws after 3 rounds (test-only entry)",
          std::nullopt, [](const problem&, param_reader&) {
            return make_protocol_machine([](session_env& env) {
-             return [](session_env& env) -> round_task<protocol_result> {
+             return [](session_env& inner_env) -> round_task<protocol_result> {
                for (int r = 0; r < 3; ++r) {
-                 env.net.silent_rounds(1);
+                 inner_env.net.silent_rounds(1);
                  co_await next_round;
                }
                throw std::runtime_error("protocol exploded");

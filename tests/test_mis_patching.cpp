@@ -53,7 +53,7 @@ class patching_suite
 
 TEST_P(patching_suite, invariants_hold) {
   const auto [gi, d] = GetParam();
-  rng r(3 + gi);
+  rng r(3 + static_cast<std::uint64_t>(gi));
   graph g;
   switch (gi) {
     case 0: g = gen::path(40); break;
