@@ -32,6 +32,8 @@ class json_recorder {
  public:
   explicit json_recorder(std::string experiment_id)
       : id_(std::move(experiment_id)) {
+    // Recorders are constructed in main() before any worker thread.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("NCDN_BENCH_JSON");
     enabled_ = env != nullptr && *env != '\0' && std::string(env) != "0";
     if (enabled_ && std::string(env) != "1") dir_ = env;

@@ -6,6 +6,8 @@
 namespace ncdn {
 
 std::size_t trials_from_env(std::size_t fallback) {
+  // Read once at bench startup, before any sweep thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("NCDN_TRIALS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 0) return static_cast<std::size_t>(v);
@@ -14,6 +16,8 @@ std::size_t trials_from_env(std::size_t fallback) {
 }
 
 double scale_from_env() {
+  // Read once at bench startup, before any sweep thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("NCDN_SCALE")) {
     const double v = std::strtod(env, nullptr);
     if (v > 0.0) return v;
