@@ -1,0 +1,58 @@
+// Deterministic-container policy helpers (enforced by tools/ci/ncdn_lint.py).
+//
+// Hash-container iteration order is a private detail of the standard
+// library — bucket counts, growth schedules, and mixing differ across
+// libstdc++/libc++ releases — so any iteration that feeds round_metrics,
+// sweep JSON, or a protocol send decision would pin the simulation's
+// byte-identity guarantee to one library version.  The linter therefore
+// bans unordered containers from determinism-sensitive code unless the
+// use carries an allowlist annotation proving order-insensitivity.
+//
+// det::hash_map is the allowlisted escape hatch for pure lookup tables:
+// std::unordered_map behind a hasher whose seed a test can perturb
+// (set_hash_seed), emulating a different standard library's bucket order.
+// tests/test_deterministic.cpp re-runs whole sweeps under different seeds
+// and asserts the JSON stays byte-identical — the executable proof that
+// no annotated use leaks iteration order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+// ncdn-lint: allow(unordered-container): wrapped by det::hash_map, whose
+// order-insensitivity is proven by the hash-seed perturbation sweep test.
+#include <unordered_map>
+
+namespace ncdn::det {
+
+/// Test-only knob perturbing every det::hash_map's bucket placement.  Set
+/// it only while no session is running: sweeps read it concurrently
+/// (relaxed atomic), and the determinism contract holds per fixed seed.
+inline std::atomic<std::uint64_t>& hash_seed_state() noexcept {
+  static std::atomic<std::uint64_t> seed{0};
+  return seed;
+}
+
+inline void set_hash_seed(std::uint64_t seed) noexcept {
+  hash_seed_state().store(seed, std::memory_order_relaxed);
+}
+
+/// splitmix64 finalizer over (key ^ seed): a real mixer, so perturbing the
+/// seed reshuffles buckets the way a different hash implementation would.
+template <class K>
+struct seeded_hash {
+  std::size_t operator()(const K& key) const noexcept {
+    std::uint64_t z = static_cast<std::uint64_t>(key) ^
+                      hash_seed_state().load(std::memory_order_relaxed);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+/// Lookup-only hash map for determinism-sensitive code.  Do not iterate:
+/// iteration order is seed-dependent by construction, which is exactly
+/// what the perturbation test would catch.
+template <class K, class V>
+using hash_map = std::unordered_map<K, V, seeded_hash<K>>;
+
+}  // namespace ncdn::det

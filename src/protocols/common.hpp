@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "coding/token.hpp"
+#include "core/det.hpp"
 #include "dynnet/network.hpp"
 
 namespace ncdn {
@@ -138,5 +139,28 @@ class token_state final : public knowledge_view {
 /// the flooding baselines).  The distribution is sorted by token_id, so we
 /// precompute the payload-lexicographic order once.
 std::vector<std::size_t> payload_order(const token_distribution& dist);
+
+/// Map from payload hash to token index, for recognizing decoded payloads
+/// (simulation-side shorthand: on the wire the payload *is* the token).
+/// Shared by the greedy/priority/t-stable decode paths.  Lookup-only by
+/// construction — no iteration is exposed, so the backing hash map cannot
+/// leak bucket order into protocol decisions (the det::hash_map seed
+/// perturbation test proves it).
+class payload_index {
+ public:
+  explicit payload_index(const token_distribution& dist);
+
+  /// Index of the token whose payload hashes to `payload_hash`.  Decoded
+  /// payloads always come from the distribution, so an unknown hash is
+  /// corruption and trips the contract.
+  std::size_t at(std::uint64_t payload_hash) const {
+    const auto it = map_.find(payload_hash);
+    NCDN_ASSERT(it != map_.end());
+    return it->second;
+  }
+
+ private:
+  det::hash_map<std::uint64_t, std::size_t> map_;
+};
 
 }  // namespace ncdn

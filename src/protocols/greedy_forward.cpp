@@ -1,30 +1,12 @@
 #include "protocols/greedy_forward.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "core/bits.hpp"
 #include "protocols/random_forward.hpp"
 #include "protocols/rlnc_broadcast.hpp"
 
 namespace ncdn {
-
-namespace {
-
-/// Map from payload hash to token index, for recognizing decoded payloads.
-/// (Simulation-side shorthand: on the wire the payload *is* the token.)
-std::unordered_map<std::uint64_t, std::size_t> payload_index(
-    const token_distribution& dist) {
-  std::unordered_map<std::uint64_t, std::size_t> map;
-  map.reserve(dist.k());
-  for (std::size_t t = 0; t < dist.k(); ++t) {
-    map.emplace(dist.tokens[t].payload.hash(), t);
-  }
-  NCDN_ENSURES(map.size() == dist.k());  // payloads are distinct
-  return map;
-}
-
-}  // namespace
 
 round_task<protocol_result> greedy_forward_machine(
     network& net, token_state& st, greedy_forward_config cfg) {
@@ -33,7 +15,7 @@ round_task<protocol_result> greedy_forward_machine(
   const std::size_t d = dist.d_bits;
   NCDN_EXPECTS(cfg.b_bits >= d);
   const coded_budget budget = block_budget(cfg.b_bits, d);
-  const auto by_payload = payload_index(dist);
+  const payload_index by_payload(dist);
 
   const std::size_t max_epochs =
       cfg.max_epochs != 0 ? cfg.max_epochs : 16 + 8 * dist.k();
@@ -132,9 +114,7 @@ round_task<protocol_result> greedy_forward_machine(
         for (std::size_t j = 0; j < budget.tokens_per_item; ++j) {
           const bitvec payload = block.slice(j * d, d);
           if (!payload.any()) continue;  // padding
-          const auto it = by_payload.find(payload.hash());
-          NCDN_ASSERT(it != by_payload.end());
-          decoded_tokens.push_back(it->second);
+          decoded_tokens.push_back(by_payload.at(payload.hash()));
         }
       }
       for (std::size_t t : decoded_tokens) {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <set>
 #include <tuple>
-#include <unordered_map>
 
 #include "coding/budget.hpp"
 #include "core/bits.hpp"
@@ -27,16 +26,6 @@ struct ann_flood_msg {
   }
 };
 
-std::unordered_map<std::uint64_t, std::size_t> payload_index(
-    const token_distribution& dist) {
-  std::unordered_map<std::uint64_t, std::size_t> map;
-  map.reserve(dist.k());
-  for (std::size_t t = 0; t < dist.k(); ++t) {
-    map.emplace(dist.tokens[t].payload.hash(), t);
-  }
-  return map;
-}
-
 }  // namespace
 
 round_task<priority_forward_result> priority_forward_machine(
@@ -46,7 +35,7 @@ round_task<priority_forward_result> priority_forward_machine(
   const std::size_t d = dist.d_bits;
   const std::size_t b = cfg.b_bits;
   NCDN_EXPECTS(b >= d);
-  const auto by_payload = payload_index(dist);
+  const payload_index by_payload(dist);
 
   priority_forward_result res;
   const round_t start = net.rounds_elapsed();
@@ -258,9 +247,7 @@ round_task<priority_forward_result> priority_forward_machine(
         for (std::size_t j = 0; j < g; ++j) {
           const bitvec payload = block.slice(j * d, d);
           if (!payload.any()) continue;  // padding
-          const auto it = by_payload.find(payload.hash());
-          NCDN_ASSERT(it != by_payload.end());
-          decoded.push_back(it->second);
+          decoded.push_back(by_payload.at(payload.hash()));
         }
       }
       for (std::size_t t : decoded) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_map>
 
 #include "core/bits.hpp"
 #include "protocols/greedy_forward.hpp"
@@ -11,16 +10,6 @@
 namespace ncdn {
 
 namespace {
-
-std::unordered_map<std::uint64_t, std::size_t> payload_index(
-    const token_distribution& dist) {
-  std::unordered_map<std::uint64_t, std::size_t> map;
-  map.reserve(dist.k());
-  for (std::size_t t = 0; t < dist.k(); ++t) {
-    map.emplace(dist.tokens[t].payload.hash(), t);
-  }
-  return map;
-}
 
 struct engine_sizing {
   tstable_engine engine = tstable_engine::plain;
@@ -109,7 +98,7 @@ round_task<tstable_result> patch_gather_machine(network& net, token_state& st,
   const round_t t = cfg.t_stability;
   const patch_plan plan = plan_patch_broadcast(n, cfg.b_bits, t);
   NCDN_EXPECTS(plan.feasible && plan.item_bits >= d);
-  const auto by_payload = payload_index(dist);
+  const payload_index by_payload(dist);
 
   const std::size_t cap_tokens = plan.item_bits / d;  // per leader block
   const std::size_t batch = std::max<std::size_t>(1, cfg.b_bits / d);
@@ -291,9 +280,7 @@ round_task<tstable_result> patch_gather_machine(network& net, token_state& st,
         for (std::size_t j = 0; j < cap_tokens; ++j) {
           const bitvec payload = block.slice(j * d, d);
           if (!payload.any()) continue;
-          const auto it = by_payload.find(payload.hash());
-          NCDN_ASSERT(it != by_payload.end());
-          decoded.push_back(it->second);
+          decoded.push_back(by_payload.at(payload.hash()));
         }
       }
       for (std::size_t tk : decoded) {
@@ -346,7 +333,7 @@ round_task<tstable_result> tstable_machine(network& net, token_state& st,
     co_return out;
   }
 
-  const auto by_payload = payload_index(dist);
+  const payload_index by_payload(dist);
   const std::size_t tokens_total = sizing.items * sizing.tokens_per_item;
   const std::size_t max_epochs =
       cfg.max_epochs != 0 ? cfg.max_epochs : 16 + 8 * dist.k();
@@ -429,9 +416,7 @@ round_task<tstable_result> tstable_machine(network& net, token_state& st,
           for (std::size_t j = 0; j < sizing.tokens_per_item; ++j) {
             const bitvec payload = block.slice(j * d, d);
             if (!payload.any()) continue;
-            const auto it = by_payload.find(payload.hash());
-            NCDN_ASSERT(it != by_payload.end());
-            decoded_of[u].push_back(it->second);
+            decoded_of[u].push_back(by_payload.at(payload.hash()));
           }
         }
       }

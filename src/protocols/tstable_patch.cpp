@@ -1,7 +1,7 @@
 #include "protocols/tstable_patch.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "core/bits.hpp"
 
@@ -470,7 +470,9 @@ round_task<void> tstable_patch_session::pass_stepped(network& net,
   const std::size_t tag_bits =
       bits_for(static_cast<std::uint64_t>(t_vec) + 1) + bits_for(n) + 2;
 
-  std::vector<std::unordered_map<node_id, bitvec>> inbox_vec(n);
+  // std::map, not unordered: the per-node iteration below fixes the decoder
+  // insert order, which must not depend on the library's bucket layout.
+  std::vector<std::map<node_id, bitvec>> inbox_vec(n);
   for (round_t r = 0; r < t_vec; ++r) {
     net.step<chunk_msg>(
         *this,
@@ -622,7 +624,9 @@ round_task<round_t> chunked_meta_session::run_stepped(network& net,
       bitvec seen;
       std::uint32_t count = 0;
     };
-    std::vector<std::unordered_map<node_id, partial>> reassembly(n);
+    // std::map for the same reason as pass_stepped's inbox_vec: iteration
+    // feeds decoder insert order, so it must be sender-id sorted.
+    std::vector<std::map<node_id, partial>> reassembly(n);
     for (round_t c = 0; c < t_vec_; ++c) {
       net.step<chunk_msg>(
           *this,
