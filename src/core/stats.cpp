@@ -1,3 +1,5 @@
+// ncdn-lint: allow-file(float-metrics): see stats.hpp — fixed-order
+// sequential IEEE-754 reductions, bit-stable per input.
 #include "core/stats.hpp"
 
 #include <algorithm>

@@ -1,5 +1,10 @@
 // Summary statistics over repeated trials.  Experiment tables report the
 // mean / median / min / max round counts across seeds.
+//
+// ncdn-lint: allow-file(float-metrics): summaries are reductions over a
+// sorted sample in one fixed sequential order (never across threads), and
+// IEEE-754 double add/divide are exactly specified — results are
+// bit-stable for a given input on every supported platform.
 #pragma once
 
 #include <cstddef>

@@ -1,3 +1,5 @@
+// ncdn-lint: allow-file(float-metrics): see json.hpp — fixed number
+// formatting makes equal doubles emit equal bytes.
 #include "runner/json.hpp"
 
 #include <cmath>

@@ -8,6 +8,11 @@
 //   2. zero dependencies — the container bakes no JSON library;
 //   3. smallness — only what the runner needs (no comments; non-finite
 //      numbers serialize as null; UTF-8 passed through verbatim).
+//
+// ncdn-lint: allow-file(float-metrics): json::value numbers are doubles
+// by design; format_number prints integral values as integers and the
+// rest through one fixed printf format, so equal values always emit equal
+// bytes (constraint 1 above — the determinism the lint rule protects).
 #pragma once
 
 #include <concepts>

@@ -1,3 +1,6 @@
+// ncdn-lint: allow-file(float-metrics): round counts are cast to double
+// only to feed summarize() (exact below 2^53) and the deterministic JSON
+// number formatter; no float arithmetic happens here.
 #include "runner/sweep.hpp"
 
 #include <algorithm>

@@ -1,0 +1,14 @@
+// bench/ is exempt from wall-clock: the timer harness is the one place
+// wall time is the point.  Must produce zero findings.
+#include <chrono>
+
+namespace fixture {
+
+inline long long elapsed_ns() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Allowlisted corpus: every construct below carries a justification, so
+// this file must produce zero findings.
+#include <unordered_map>  // ncdn-lint: allow(unordered-container): fixture
+#include <unordered_set>  // ncdn-lint: allow(unordered-container): fixture
+
+namespace fixture {
+
+inline int same_line_annotation() {
+  // ncdn-lint: allow(unordered-container): lookup-only table, fixture
+  std::unordered_map<int, int> m;
+  m.emplace(1, 2);
+  return m.at(1);
+}
+
+// A justification may also sit in the contiguous comment block directly
+// above the construct — the common shape for multi-line explanations.
+// ncdn-lint: allow(unordered-container): membership probe only; no
+// iteration, so bucket order cannot escape (fixture).
+inline std::unordered_set<int> block_annotated_set() { return {}; }
+
+}  // namespace fixture

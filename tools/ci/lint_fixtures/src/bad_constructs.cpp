@@ -1,0 +1,46 @@
+// Known-bad corpus: every line below must appear in
+// expected_findings.txt, or the linter regressed.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct node {};
+
+inline unsigned entropy() {
+  std::random_device rd;  // finding: random-device
+  return rd();
+}
+
+inline int libc_randomness() {
+  std::srand(42);        // finding: libc-rand
+  return std::rand();    // finding: libc-rand
+}
+
+inline long long wall_clock_reads() {
+  const std::time_t t = std::time(nullptr);  // finding: wall-clock
+  const auto now = std::chrono::steady_clock::now();  // finding: wall-clock
+  return static_cast<long long>(t) + now.time_since_epoch().count();
+}
+
+inline void unannotated_hash_containers() {
+  std::unordered_map<int, int> m;  // finding: unordered-container
+  std::unordered_set<int> s;       // finding: unordered-container
+  m.emplace(1, 2);
+  s.insert(3);
+}
+
+inline void pointer_keyed_order() {
+  std::map<node*, int> by_ptr;       // finding: ptr-key-container
+  std::set<const node*> ptr_set;     // finding: ptr-key-container
+  by_ptr.clear();
+  ptr_set.clear();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Scanner corpus: banned tokens inside comments and string literals are
+// not code, so this file must produce zero findings.
+#include <string>
+
+namespace fixture {
+
+// Mentioning std::unordered_map or std::random_device in prose is fine.
+/* So is rand() or std::time( inside a block comment. */
+
+inline std::string doc() {
+  return "prefer std::map over std::unordered_map; never call rand()";
+}
+
+inline char quoted() { return '"'; }  // a lone quote must not derail it
+
+}  // namespace fixture

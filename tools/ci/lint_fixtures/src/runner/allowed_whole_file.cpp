@@ -1,0 +1,9 @@
+// ncdn-lint: allow-file(float-metrics): the whole-file grant used by the
+// real JSON emitter; everything below is silent (fixture).
+namespace fixture {
+
+inline double mean3(double a, double b, double c) { return (a + b + c) / 3; }
+
+inline float narrow(double d) { return static_cast<float>(d); }
+
+}  // namespace fixture

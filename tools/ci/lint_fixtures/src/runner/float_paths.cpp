@@ -1,0 +1,13 @@
+// Under src/runner/ the float-metrics rule applies: unannotated floating
+// point is a finding; the same constructs are silent elsewhere in src/.
+namespace fixture {
+
+inline double unannotated_mean(int a, int b) {  // finding: float-metrics
+  return (static_cast<double>(a) + b) / 2.0;    // finding: float-metrics
+}
+
+// ncdn-lint: allow(float-metrics): fixed-order IEEE-754 ops, bit-stable
+// per input (fixture).
+inline float annotated_unit() { return 1.0f; }
+
+}  // namespace fixture
