@@ -43,7 +43,19 @@ std::size_t session_batch::step_all() {
     throw;
   }
   live_.resize(kept);
+  // Compaction invariant: everything still on the live list can be
+  // stepped again, and nothing off it ever is (a finished session's
+  // report must not change).
+  NCDN_AUDIT(audit_live_list());
   return kept;
+}
+
+bool session_batch::audit_live_list() const {
+  for (std::size_t index : live_) {
+    if (index >= sessions_.size()) return false;
+    if (sessions_[index]->finished()) return false;
+  }
+  return true;
 }
 
 void session_batch::run_all() {

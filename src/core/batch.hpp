@@ -57,6 +57,10 @@ class session_batch {
   void run_all();
 
  private:
+  /// Audit-build check that the live list holds exactly steppable
+  /// sessions (in-bounds, none finished).
+  bool audit_live_list() const;
+
   std::vector<std::unique_ptr<session>> sessions_;
   std::vector<std::size_t> live_;  // indices of unfinished sessions, sorted
 };

@@ -33,3 +33,22 @@ namespace ncdn::detail {
   ((cond) ? static_cast<void>(0)                                         \
           : ::ncdn::detail::contract_failure("invariant", #cond,         \
                                              __FILE__, __LINE__))
+
+// Audit-tier contracts: deep invariants whose checks are superlinear in
+// the structures they guard (full RREF scans, graph connectivity, whole-
+// state monotonicity).  Compiled in only under -DNCDN_AUDIT=ON; an audit
+// build must be behaviorally identical to release apart from the extra
+// reads — CI proves it by comparing sweep JSON byte-for-byte.  Keep audit
+// expressions free of side effects and audit-only locals wrapped in
+// NCDN_AUDIT_ONLY so the release build neither runs nor warns about them.
+#ifdef NCDN_AUDIT_ENABLED
+#define NCDN_AUDIT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ncdn::detail::contract_failure("audit invariant", #cond,   \
+                                             __FILE__, __LINE__))
+#define NCDN_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define NCDN_AUDIT(cond) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))  // unevaluated: names stay used
+#define NCDN_AUDIT_ONLY(...)
+#endif

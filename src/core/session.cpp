@@ -159,6 +159,8 @@ void session::collect(const round_digest& digest) {
       hi = std::max(hi, v);
       total += v;
     }
+    NCDN_AUDIT(
+        audit_knowledge_monotone(scratch_.knowledge, digest.view->view_id()));
     last_knowledge_ = scratch_.knowledge;
     scratch_.min_knowledge = n == 0 ? 0 : lo;
     scratch_.max_knowledge = hi;
@@ -189,6 +191,15 @@ void session::collect(const round_digest& digest) {
     // O(n).  No elimination happens either.
     scratch_.elimination_xors = 0;
   }
+
+  // Traffic conservation, per round: at most one message per node, and
+  // the per-round bit total must sit between the largest message and
+  // messages * largest (every message is at most max_message_bits).
+  NCDN_AUDIT(digest.messages <= prob_.n);
+  NCDN_AUDIT(digest.message_bits <=
+             digest.messages * digest.max_message_bits);
+  NCDN_AUDIT(digest.messages == 0 ||
+             digest.message_bits >= digest.max_message_bits);
 
   metrics_.rounds = digest.round;
   if (digest.messages > 0) ++metrics_.rounds_with_traffic;
@@ -242,8 +253,33 @@ void session::finish(protocol_result res) {
   }
   metrics_.final_tokens_retired = retired;
 
+  NCDN_AUDIT(audit_final_consistency());
   report_.metrics = metrics_;
   finished_ = true;
+}
+
+bool session::audit_knowledge_monotone(const std::vector<std::size_t>& now,
+                                       std::uint64_t view_id) const {
+  // Multi-phase protocols hand the engine fresh views whose rank-based
+  // knowledge restarts at zero, so monotonicity only binds within one
+  // view epoch (same id as the previous observed round).
+  if (view_id != last_work_view_id_) return true;
+  if (last_knowledge_.size() != now.size()) return last_knowledge_.empty();
+  for (std::size_t u = 0; u < now.size(); ++u) {
+    if (now[u] < last_knowledge_[u]) return false;  // tokens are never lost
+  }
+  return true;
+}
+
+bool session::audit_final_consistency() const {
+  // (Completion is NOT checked against token_state here: the coded
+  // broadcast family decodes inside its own rlnc_session view and never
+  // writes token_state back, so the view-agnostic invariants are the
+  // traffic aggregates and the completion round's bound.)
+  if (metrics_.peak_round_bits > metrics_.total_message_bits) return false;
+  if (metrics_.rounds_with_traffic > metrics_.rounds) return false;
+  if (metrics_.observed_completion_round > metrics_.rounds) return false;
+  return true;
 }
 
 bool session::step() {

@@ -84,6 +84,14 @@ class session {
   void collect(const round_digest& digest);   // digest -> scratch_/metrics_
   void finish(protocol_result res);           // builds report_
 
+  // Audit-build invariants (see core/contracts.hpp): per-node knowledge
+  // may only grow round over round within one view epoch, and the final
+  // report must agree with the authoritative token_state and conserve
+  // the traffic aggregates.
+  bool audit_knowledge_monotone(const std::vector<std::size_t>& now,
+                                std::uint64_t view_id) const;
+  bool audit_final_consistency() const;
+
   problem prob_;
   protocol_spec proto_spec_;
   adversary_spec adv_spec_;

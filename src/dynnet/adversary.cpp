@@ -179,9 +179,35 @@ const graph& churn_adversary::topology(round_t r, const knowledge_view& view) {
   // The live set must stay connected (its own §4.1 contract); the base may
   // only connect it through departed nodes, so invented links can appear.
   gen::make_connected_over(g, base, &live_);
+  NCDN_AUDIT(audit_live_invariants(g, r));
   current_ = std::move(g);
   current_round_ = r;
   return current_;
+}
+
+bool churn_adversary::audit_live_invariants(const graph& g, round_t r) const {
+  // Census: the running live_count_ matches the mask, and the floor holds.
+  std::size_t live = 0;
+  for (char c : live_) live += static_cast<std::size_t>(c != 0);
+  if (live != live_count_ || live < min_live_) return false;
+  const std::size_t n = live_.size();
+  for (node_id u = 0; u < n; ++u) {
+    // Bounded downtime: the forced rejoin fired before max_down_ elapsed.
+    if (live_[u] == 0 && r - down_since_[u] >= max_down_) return false;
+    // Departed nodes are isolated — no edge may lean on them.
+    if (live_[u] == 0 && !g.neighbors(u).empty()) return false;
+  }
+  // The live-induced subgraph is connected: one multi-source-free BFS from
+  // any live node must reach every live node (departed ones are isolated,
+  // so reachability cannot route through them).
+  node_id src = 0;
+  while (src < n && live_[src] == 0) ++src;
+  if (src == n) return live == 0;
+  const std::vector<std::uint32_t> dist = g.bfs_distances(src);
+  for (node_id u = 0; u < n; ++u) {
+    if (live_[u] != 0 && dist[u] == infinite_distance) return false;
+  }
+  return true;
 }
 
 std::string churn_adversary::name() const {

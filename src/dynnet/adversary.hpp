@@ -227,6 +227,11 @@ class churn_adversary final : public adversary {
   std::size_t min_live() const noexcept { return min_live_; }
 
  private:
+  /// Audit-build sweep of the §4.1 churn contracts: live census and
+  /// floor, bounded downtime, isolated departed nodes, and connectivity
+  /// of the live-induced subgraph.
+  bool audit_live_invariants(const graph& g, round_t r) const;
+
   std::unique_ptr<adversary> base_;
   double rate_;
   double rejoin_;

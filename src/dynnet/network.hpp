@@ -85,6 +85,10 @@ class network {
   void step(const knowledge_view& view, MakeMsg&& make, Deliver&& deliver) {
     const graph& g = adv_.topology(round_, view);
     NCDN_ASSERT(g.order() == n_);
+    // §4.1: adversaries promising full connectivity must commit a
+    // connected G(t) every round (churn-style ones keep only their live
+    // set connected and audit that themselves).
+    NCDN_AUDIT(!adv_.full_connectivity() || g.is_connected());
 
     round_digest digest;
     digest.topology_edges = g.edge_count();

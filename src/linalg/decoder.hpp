@@ -67,9 +67,11 @@ class bit_decoder {
         xor_words_ += w;
       }
     }
+    NCDN_AUDIT(pivot_row_[p] == npos);  // pivot columns are claimed once
     pivot_row_[p] = rows_.size();
     rows_.push_back(std::move(row));
     pivots_.push_back(p);
+    NCDN_AUDIT(audit_rref());
     return true;
   }
 
@@ -163,6 +165,21 @@ class bit_decoder {
  private:
   static constexpr std::size_t npos = ~std::size_t{0};
 
+  /// Full O(rank^2) RREF audit: every stored row leads with its pivot,
+  /// the pivot->row index agrees, and no pivot column appears in any
+  /// other row.  insert() maintains this incrementally; the audit build
+  /// re-derives it from scratch after every insertion.
+  bool audit_rref() const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].first_set() != pivots_[i]) return false;
+      if (pivot_row_[pivots_[i]] != i) return false;
+      for (std::size_t j = 0; j < rows_.size(); ++j) {
+        if (j != i && rows_[j].get(pivots_[i])) return false;
+      }
+    }
+    return true;
+  }
+
   std::size_t coeff_dim_ = 0;
   std::size_t payload_bits_ = 0;
   std::vector<bitvec> rows_;      // maintained in RREF (unordered by pivot)
@@ -212,6 +229,7 @@ class field_decoder {
     }
     rows_.push_back(std::move(row));
     pivots_.push_back(p);
+    NCDN_AUDIT(audit_rref());
     return true;
   }
 
@@ -266,6 +284,19 @@ class field_decoder {
   const std::vector<row_type>& basis() const noexcept { return rows_; }
 
  private:
+  /// Audit-build analogue of bit_decoder::audit_rref over F: unit pivot
+  /// entries, distinct pivot columns, zeros elsewhere in each pivot
+  /// column.
+  bool audit_rref() const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i][pivots_[i]] != F::one()) return false;
+      for (std::size_t j = 0; j < rows_.size(); ++j) {
+        if (j != i && rows_[j][pivots_[i]] != F::zero()) return false;
+      }
+    }
+    return true;
+  }
+
   static void add_scaled(row_type& dst, const row_type& src, value_type s) {
     for (std::size_t i = 0; i < dst.size(); ++i) {
       dst[i] = F::add(dst[i], F::mul(s, src[i]));

@@ -65,12 +65,16 @@ class token_state final : public knowledge_view {
     if (!known_[u].get(t)) {
       known_[u].set(t);
       ++known_count_[u];
+      // The running counters must agree with their masks (the masks are
+      // authoritative; the counters exist to keep knowledge() O(1)).
+      NCDN_AUDIT(known_[u].popcount() == known_count_[u]);
       // retired_ is sized k at construction, so learning a globally
       // retired token is a single bit probe — O(1), never an allocation.
       NCDN_ASSERT(!retired_.empty());
       if (retired_.get(t)) return;
       remaining_[u].set(t);
       ++remaining_count_[u];
+      NCDN_AUDIT(remaining_[u].popcount() == remaining_count_[u]);
     }
   }
 
