@@ -25,11 +25,19 @@ skips them entirely: use it when OLD_DIR is the committed baseline, which
 was produced on different hardware — simulation metrics (rounds, XORs)
 are machine-independent and stay gating either way.
 """
+from __future__ import annotations
+
 import argparse
 import glob
 import json
 import os
 import sys
+from typing import Any
+
+# JSON rows are untyped trees; RowKey is the sorted string-cell tuple that
+# identifies a row within its section (("__means__",) for the fallback).
+Row = dict[str, Any]
+RowKey = tuple[Any, ...]
 
 LOWER_BETTER = ("rounds", "xors", "bits", "time", "secs", "epochs",
                 "latency")
@@ -37,7 +45,7 @@ HIGHER_BETTER = ("per_sec", "throughput", "rate", "speedup", "sessions")
 WALL_CLOCK = ("per_sec", "throughput", "time", "secs")
 
 
-def direction(name):
+def direction(name: str) -> str | None:
     # Higher-better tags win ties: "rounds_per_sec" contains both "rounds"
     # and "per_sec" and is a throughput, not a round count.
     lname = name.lower()
@@ -48,19 +56,19 @@ def direction(name):
     return None
 
 
-def is_wall_clock(name):
+def is_wall_clock(name: str) -> bool:
     lname = name.lower()
     return any(tag in lname for tag in WALL_CLOCK)
 
 
-def row_key(row):
+def row_key(row: Row) -> RowKey:
     return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
 
 
-def rows_of(doc):
+def rows_of(doc: dict[str, Any]) -> dict[tuple[str, RowKey], Row]:
     """(section, key) -> row dict; falls back to the section means when row
     keys collide (a section without distinguishing string cells)."""
-    out = {}
+    out: dict[tuple[str, RowKey], Row] = {}
     for section, body in doc.get("sections", {}).items():
         rows = body.get("rows", [])
         keys = [row_key(r) for r in rows]
@@ -72,13 +80,13 @@ def rows_of(doc):
     return out
 
 
-def label(section, key):
+def label(section: str, key: RowKey) -> str:
     parts = [v for _, v in key if v != "__means__"] if key != ("__means__",) \
         else ["(means)"]
     return section + ":" + "/".join(str(p) for p in parts) if parts else section
 
 
-def main():
+def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("old_dir")
     ap.add_argument("new_dir")
@@ -87,7 +95,7 @@ def main():
     ap.add_argument("--ignore-throughput", action="store_true")
     args = ap.parse_args()
 
-    regressions = []
+    regressions: list[str] = []
     compared = 0
     experiments = 0
     # A trajectory gate must also notice coverage *shrinking*: an
