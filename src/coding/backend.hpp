@@ -87,4 +87,16 @@ std::unique_ptr<coding_backend> make_sparse_backend(double rho);
 std::unique_ptr<coding_backend> make_generation_backend(
     std::size_t gen_size, std::size_t band_overlap);
 
+/// Recoding-buffer node mode (the `buf=B` axis under lossy links): wraps
+/// `inner` so each node's outgoing combination is a coin-XOR over a
+/// bounded FIFO of its `capacity` most recent wire rows — received or
+/// seeded — instead of the inner backend's full reduced state.  On
+/// overflow the oldest (evict_oldest) or the most recently buffered row
+/// is dropped.  rank/complete/decode still delegate to the inner coder:
+/// the buffer constrains only what a node can *send*, modelling
+/// memory-limited relays that recode in place without decoding first.
+std::unique_ptr<coding_backend> make_buffered_backend(
+    std::unique_ptr<coding_backend> inner, std::size_t capacity,
+    bool evict_oldest);
+
 }  // namespace ncdn

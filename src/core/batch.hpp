@@ -40,6 +40,9 @@ class session_batch {
   /// std::invalid_argument exactly like the session constructor.
   std::size_t emplace(const problem& prob, protocol_spec proto,
                       adversary_spec adv, std::uint64_t seed);
+  /// Same, with a per-edge channel (empty link = reliable default).
+  std::size_t emplace(const problem& prob, protocol_spec proto,
+                      adversary_spec adv, link_spec link, std::uint64_t seed);
 
   std::size_t size() const noexcept { return sessions_.size(); }
   bool all_finished() const noexcept { return live_.empty(); }

@@ -51,6 +51,19 @@ struct round_metrics {
   // the round it first appears.
   std::uint64_t elimination_xors = 0;
 
+  // Channel accounting (src/linkmodel), zero with link_active false under
+  // the reliable default.  Counts are directed copies: one (sender ->
+  // receiver) traversal each, so a broadcast reaching 3 neighbours is 3
+  // copies.  messages_in_flight is the delivery-queue size after the
+  // round; delivery_latency buckets this round's deliveries by how many
+  // rounds they spent in flight (index 0 = same-round).
+  bool link_active = false;
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t messages_in_flight = 0;
+  std::vector<std::size_t> delivery_latency;
+
   bool all_complete(std::size_t k) const noexcept {
     return !knowledge.empty() && min_knowledge >= k;
   }
@@ -69,6 +82,16 @@ struct session_metrics {
   std::size_t final_total_knowledge = 0;
   std::size_t final_tokens_retired = 0;
   std::uint64_t total_elimination_xors = 0;  // summed round elimination_xors
+
+  // Channel aggregates (zero / empty without a link model).  The
+  // conservation invariant holds at every observed round: total sent ==
+  // total delivered + total dropped + messages_in_flight.
+  bool link_active = false;
+  std::uint64_t total_messages_sent = 0;
+  std::uint64_t total_messages_delivered = 0;
+  std::uint64_t total_messages_dropped = 0;
+  std::size_t messages_in_flight = 0;  // still queued when the run ended
+  std::vector<std::size_t> delivery_latency;  // cumulative histogram
 };
 
 }  // namespace ncdn

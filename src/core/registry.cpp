@@ -247,6 +247,27 @@ round_task<protocol_result> coded_broadcast_run(
   co_return res;
 }
 
+// The recoding-buffer node mode (shared by the rlnc-* entries): buf=B
+// bounds each node's recoding window to its B most recent wire rows,
+// evict=oldest|newest picks which buffered row overflow drops.  buf=0
+// (the default) leaves the inner backend untouched.
+std::function<std::unique_ptr<coding_backend>()> maybe_buffered(
+    param_reader& params, const char* name,
+    std::function<std::unique_ptr<coding_backend>()> inner) {
+  const std::size_t buf = params.size("buf", 0);
+  const std::string evict = params.str("evict", "oldest");
+  if (evict != "oldest" && evict != "newest") {
+    throw std::invalid_argument(std::string("ncdn: ") + name +
+                                " needs evict=oldest|newest, got '" + evict +
+                                "'");
+  }
+  if (buf == 0) return inner;
+  const bool evict_oldest = evict == "oldest";
+  return [inner = std::move(inner), buf, evict_oldest] {
+    return make_buffered_backend(inner(), buf, evict_oldest);
+  };
+}
+
 std::unique_ptr<protocol_machine> coded_broadcast_factory(
     const problem& prob, const char* name,
     std::function<std::unique_ptr<coding_backend>()> backend,
@@ -293,7 +314,13 @@ void register_builtin_protocols(protocol_registry& reg) {
            algorithm::token_forwarding_pipelined,
            [](const problem& prob, param_reader& params) {
              return flooding_factory(prob, params, /*pipelined=*/true);
-           }});
+           },
+           // The streaming variant makes no agreement assertion (nodes just
+           // forward the lowest unseen token), so missing or late copies
+           // only cost rounds — safe under lossy links, unlike the batched
+           // min-flood baseline.
+           /*needs_full_connectivity=*/true,
+           /*loss_tolerant=*/true});
   reg.add({"naive-indexed",
            "Cor 7.1: index by ID-flooding, then RLNC-broadcast",
            algorithm::naive_indexed,
@@ -390,14 +417,16 @@ void register_builtin_protocols(protocol_registry& reg) {
              // Whp bound is O(n + k); the cap only guards the 2^-n tail.
              return coded_broadcast_factory(
                  prob, "rlnc-direct",
-                 [] { return make_dense_backend(); },
+                 maybe_buffered(params, "rlnc-direct",
+                                [] { return make_dense_backend(); }),
                  [cap_factor](std::size_t n, std::size_t k) {
                    return static_cast<round_t>(
                               cap_factor * static_cast<double>(n + k)) +
                           64;
                  });
            },
-           /*needs_full_connectivity=*/false});
+           /*needs_full_connectivity=*/false,
+           /*loss_tolerant=*/true});
   // Registry-only backends (no legacy enum): the density/delay trade-offs
   // of practical RLNC (sparsenc; Firooz & Roy; Costa et al.).
   reg.add({"rlnc-sparse",
@@ -415,7 +444,8 @@ void register_builtin_protocols(protocol_registry& reg) {
              const double stretch = std::max(1.0, 0.5 / rho);
              return coded_broadcast_factory(
                  prob, "rlnc-sparse",
-                 [rho] { return make_sparse_backend(rho); },
+                 maybe_buffered(params, "rlnc-sparse",
+                                [rho] { return make_sparse_backend(rho); }),
                  [cap_factor, stretch](std::size_t n, std::size_t k) {
                    return static_cast<round_t>(
                               cap_factor * stretch *
@@ -423,7 +453,8 @@ void register_builtin_protocols(protocol_registry& reg) {
                           64;
                  });
            },
-           /*needs_full_connectivity=*/false});
+           /*needs_full_connectivity=*/false,
+           /*loss_tolerant=*/true});
   reg.add({"rlnc-gen",
            "indexed broadcast, generation/band coding [gen_size, "
            "band_overlap]",
@@ -444,9 +475,11 @@ void register_builtin_protocols(protocol_registry& reg) {
              const double cap_factor = params.real("cap_factor", 16.0);
              return coded_broadcast_factory(
                  prob, "rlnc-gen",
-                 [gen_size, overlap] {
-                   return make_generation_backend(gen_size, overlap);
-                 },
+                 maybe_buffered(params, "rlnc-gen",
+                                [gen_size, overlap] {
+                                  return make_generation_backend(gen_size,
+                                                                 overlap);
+                                }),
                  [cap_factor, gen_size, overlap](std::size_t n,
                                                  std::size_t k) {
                    // Bandwidth splits across G generations; each needs its
@@ -459,7 +492,8 @@ void register_builtin_protocols(protocol_registry& reg) {
                           64;
                  });
            },
-           /*needs_full_connectivity=*/false});
+           /*needs_full_connectivity=*/false,
+           /*loss_tolerant=*/true});
 }
 
 // --- built-in adversaries ---------------------------------------------------

@@ -127,6 +127,11 @@ struct protocol_entry {
   // received combination helps, no consensus step — so those entries
   // clear this and may be paired with live-subset adversaries (churn).
   bool needs_full_connectivity = true;
+  // Whether the protocol stays correct when the channel may erase or
+  // delay individual copies (src/linkmodel).  Protocols whose rounds
+  // assert symmetric receipt (min-flood agreement) must keep this false;
+  // the session rejects pairing them with a non-empty link spec.
+  bool loss_tolerant = false;
 };
 
 struct adversary_entry {

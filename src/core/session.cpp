@@ -18,7 +18,14 @@ bool contains(const std::vector<std::string>& keys, const std::string& key) {
 
 session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
                  std::uint64_t seed)
-    : proto_spec_(std::move(proto)), adv_spec_(std::move(adv)), seed_(seed) {
+    : session(prob, std::move(proto), std::move(adv), link_spec{}, seed) {}
+
+session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
+                 link_spec link, std::uint64_t seed)
+    : proto_spec_(std::move(proto)),
+      adv_spec_(std::move(adv)),
+      link_spec_(std::move(link)),
+      seed_(seed) {
   // Problem-level overrides may ride in either spec's param_map (the CLI
   // hands both the same map); factory-level keys are consumed later by
   // build_protocol / build_adversary, which also reject leftovers.  The
@@ -86,6 +93,24 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
   }
   net_ = std::make_unique<network>(prob_.n, prob_.b, *adv_,
                                    seed_ * 104729 + 13, prob_.slack);
+  if (!link_spec_.empty()) {
+    // A configured channel may erase or delay deliveries, which breaks
+    // every protocol whose correctness rests on reliable synchronous
+    // rounds (min-flood agreement, finalization schedules).  Reject the
+    // pairing up front, mirroring the full-connectivity gate above.
+    if (proto_entry != nullptr && !proto_entry->loss_tolerant) {
+      throw std::invalid_argument(
+          "ncdn: protocol '" + proto_spec_.name +
+          "' assumes reliable synchronous delivery and cannot run under "
+          "link model '" + link_spec_.name +
+          "'; pick a loss-tolerant protocol (rlnc-direct, rlnc-sparse, "
+          "rlnc-gen, token-forwarding-pipelined)");
+    }
+    // Its own seed stream, decorrelated from the dist / adversary /
+    // network derivations (distinct prime multiplier, same scheme).
+    net_->set_link_model(
+        build_link_model(link_spec_, seed_ * 15485863 + 17));
+  }
   state_ = std::make_unique<token_state>(dist_);
   machine_ = build_protocol(prob_, proto_spec_, &proto_audit);
 
@@ -200,6 +225,33 @@ void session::collect(const round_digest& digest) {
              digest.messages * digest.max_message_bits);
   NCDN_AUDIT(digest.messages == 0 ||
              digest.message_bits >= digest.max_message_bits);
+
+  // Channel accounting (zero and inactive under the reliable default).
+  scratch_.link_active = digest.link_active;
+  scratch_.messages_sent = digest.link_sent;
+  scratch_.messages_delivered = digest.link_delivered;
+  scratch_.messages_dropped = digest.link_dropped;
+  scratch_.messages_in_flight = digest.link_in_flight;
+  scratch_.delivery_latency = digest.link_latency;
+  if (digest.link_active) {
+    metrics_.link_active = true;
+    metrics_.total_messages_sent += digest.link_sent;
+    metrics_.total_messages_delivered += digest.link_delivered;
+    metrics_.total_messages_dropped += digest.link_dropped;
+    metrics_.messages_in_flight = digest.link_in_flight;
+    if (metrics_.delivery_latency.size() < digest.link_latency.size()) {
+      metrics_.delivery_latency.resize(digest.link_latency.size());
+    }
+    for (std::size_t i = 0; i < digest.link_latency.size(); ++i) {
+      metrics_.delivery_latency[i] += digest.link_latency[i];
+    }
+    // In-flight queue conservation, cumulative over the session: every
+    // copy that entered the channel is delivered, dropped, or in flight.
+    NCDN_AUDIT(metrics_.total_messages_sent ==
+               metrics_.total_messages_delivered +
+                   metrics_.total_messages_dropped +
+                   digest.link_in_flight);
+  }
 
   metrics_.rounds = digest.round;
   if (digest.messages > 0) ++metrics_.rounds_with_traffic;

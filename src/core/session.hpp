@@ -28,6 +28,7 @@
 #include <optional>
 
 #include "core/registry.hpp"
+#include "linkmodel/linkmodel.hpp"
 
 namespace ncdn {
 
@@ -40,6 +41,14 @@ class session {
   /// params, or an infeasible problem.
   session(const problem& prob, protocol_spec proto, adversary_spec adv,
           std::uint64_t seed);
+  /// Same, with a per-edge channel (src/linkmodel) between the adversary's
+  /// topology and the protocol.  An empty link spec is the reliable
+  /// default; a non-empty one requires a loss-tolerant protocol (the
+  /// session rejects the pairing with std::invalid_argument otherwise —
+  /// delayed or erased deliveries would trip flood-agreement contracts
+  /// mid-run).
+  session(const problem& prob, protocol_spec proto, adversary_spec adv,
+          link_spec link, std::uint64_t seed);
   ~session() = default;
 
   session(const session&) = delete;
@@ -95,6 +104,7 @@ class session {
   problem prob_;
   protocol_spec proto_spec_;
   adversary_spec adv_spec_;
+  link_spec link_spec_;
   std::uint64_t seed_ = 0;
 
   token_distribution dist_;

@@ -16,12 +16,15 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <typeinfo>
 #include <vector>
 
 #include "core/contracts.hpp"
 #include "core/rng.hpp"
 #include "dynnet/adversary.hpp"
+#include "dynnet/channel.hpp"
 #include "dynnet/graph.hpp"
 
 namespace ncdn {
@@ -39,6 +42,20 @@ struct round_digest {
   std::size_t topology_edges = 0;        // |E| of the round's graph (0 when
                                          // silent: no topology committed)
   bool silent = false;
+
+  // Channel accounting, populated only when a link model is installed (the
+  // reliable default leaves them zero with link_active false).  A "copy"
+  // is one directed (sender -> receiver) traversal: each copy entering the
+  // channel is eventually delivered, dropped, or still in flight — the
+  // conservation invariant the audit tier checks cumulatively.
+  bool link_active = false;
+  std::size_t link_sent = 0;       // copies entering the channel this round
+  std::size_t link_delivered = 0;  // copies handed to receivers this round
+  std::size_t link_dropped = 0;    // erased / collided / expired this round
+  std::size_t link_in_flight = 0;  // delivery-queue size after the round
+  // This round's deliveries bucketed by latency in rounds (index 0 =
+  // same-round delivery); empty when nothing was delivered.
+  std::vector<std::size_t> link_latency;
 };
 
 template <class M>
@@ -76,6 +93,18 @@ class network {
     round_hook_ = std::move(hook);
   }
 
+  /// Installs a per-edge channel (src/linkmodel) between the adversary's
+  /// topology and the protocol: erasures, in-flight latency, medium
+  /// discipline.  Must be set before the first step; null (the default)
+  /// keeps the historical reliable zero-latency path, draw for draw.
+  void set_link_model(std::unique_ptr<link_model> link) {
+    NCDN_EXPECTS(round_ == 0);
+    link_ = std::move(link);
+  }
+  bool link_active() const noexcept { return link_ != nullptr; }
+  /// Copies currently sitting in the delivery queue.
+  std::size_t messages_in_flight() const noexcept { return flight_.size(); }
+
   /// Runs one synchronized round.
   ///
   /// MakeMsg: node_id, rng& -> std::optional<Msg>  (nullopt = silent node)
@@ -101,19 +130,29 @@ class network {
         NCDN_ASSERT(static_cast<double>(bits) <=
                     slack_ * static_cast<double>(b_bits_) + framing_bits_);
         max_message_bits_ = std::max(max_message_bits_, bits);
+      }
+    }
+
+    if (link_ == nullptr) {
+      // The historical reliable path, untouched: every made message is
+      // broadcast and every neighbour copy is delivered within the round.
+      for (node_id u = 0; u < n_; ++u) {
+        if (!msgs[u].has_value()) continue;
+        const std::size_t bits = msgs[u]->bit_size();
         ++digest.messages;
         digest.message_bits += bits;
         digest.max_message_bits = std::max(digest.max_message_bits, bits);
       }
-    }
-
-    std::vector<const Msg*> inbox;
-    for (node_id u = 0; u < n_; ++u) {
-      inbox.clear();
-      for (node_id v : g.neighbors(u)) {
-        if (msgs[v].has_value()) inbox.push_back(&*msgs[v]);
+      std::vector<const Msg*> inbox;
+      for (node_id u = 0; u < n_; ++u) {
+        inbox.clear();
+        for (node_id v : g.neighbors(u)) {
+          if (msgs[v].has_value()) inbox.push_back(&*msgs[v]);
+        }
+        deliver(u, static_cast<const std::vector<const Msg*>&>(inbox));
       }
-      deliver(u, static_cast<const std::vector<const Msg*>&>(inbox));
+    } else {
+      step_channel<Msg>(g, digest, msgs, deliver);
     }
     ++round_;
     if (round_hook_) {
@@ -124,7 +163,9 @@ class network {
   }
 
   /// Rounds in which all nodes stay silent (protocol-internal waiting while
-  /// staying synchronized); still counts toward the running time.
+  /// staying synchronized); still counts toward the running time.  Copies
+  /// already in flight simply age — they come due at the next stepped
+  /// round.
   void silent_rounds(round_t count) {
     if (!round_hook_) {
       round_ += count;
@@ -135,6 +176,10 @@ class network {
       round_digest digest;
       digest.round = round_;
       digest.silent = true;
+      if (link_ != nullptr) {
+        digest.link_active = true;
+        digest.link_in_flight = flight_.size();
+      }
       round_hook_(digest);
     }
   }
@@ -142,6 +187,118 @@ class network {
  private:
   template <class Msg>
   using messages_of_round = std::vector<std::optional<Msg>>;
+
+  /// One delayed directed copy.  The payload is type-erased so the queue
+  /// survives protocol phases that switch message types; a copy whose type
+  /// no longer matches the stepping phase when it comes due is expired
+  /// (counted dropped) — it can never be delivered.
+  struct flight_entry {
+    round_t due = 0;   // first send-round index eligible for delivery
+    round_t sent = 0;  // send-round index (actual latency = now - sent)
+    node_id dst = 0;
+    bool consumed = false;  // delivered or expired this round; compacted
+    std::shared_ptr<const void> payload;
+    const std::type_info* type = nullptr;
+  };
+
+  /// The channel path of step(): transmit gating, medium discipline,
+  /// erasures, and the in-flight delivery queue.  Copy accounting feeds the
+  /// digest; cumulative conservation (sent == delivered + dropped +
+  /// in flight) is audited after every round.
+  template <class Msg, class Deliver>
+  void step_channel(const graph& g, round_digest& digest,
+                    messages_of_round<Msg>& msgs, Deliver&& deliver) {
+    digest.link_active = true;
+    const round_t send_round = round_;
+    std::vector<char> transmit(n_, 0);
+    for (node_id u = 0; u < n_; ++u) {
+      if (!msgs[u].has_value() || !link_->transmits(send_round, u)) continue;
+      transmit[u] = 1;
+      const std::size_t bits = msgs[u]->bit_size();
+      ++digest.messages;
+      digest.message_bits += bits;
+      digest.max_message_bits = std::max(digest.max_message_bits, bits);
+    }
+    const medium_mode medium = link_->medium();
+    const bool collide =
+        medium == medium_mode::broadcast && link_->collisions();
+
+    auto record_latency = [&](round_t latency) {
+      const auto slot = static_cast<std::size_t>(latency);
+      if (digest.link_latency.size() <= slot) {
+        digest.link_latency.resize(slot + 1);
+      }
+      ++digest.link_latency[slot];
+    };
+
+    // Delayed copies of one sender share a single heap copy of its message.
+    std::vector<std::shared_ptr<const Msg>> shared(n_);
+    // Entries past this index were enqueued this round (drawn delays are
+    // >= 1, so none of them can be due yet).
+    const std::size_t flight_before = flight_.size();
+    std::vector<const Msg*> inbox;
+    for (node_id u = 0; u < n_; ++u) {
+      inbox.clear();
+      // In-flight copies that came due, in enqueue order (FIFO per
+      // receiver): they arrive "before" this round's transmissions.
+      for (std::size_t i = 0; i < flight_before; ++i) {
+        flight_entry& e = flight_[i];
+        if (e.consumed || e.dst != u || e.due > send_round) continue;
+        e.consumed = true;
+        if (*e.type == typeid(Msg)) {
+          inbox.push_back(static_cast<const Msg*>(e.payload.get()));
+          ++digest.link_delivered;
+          record_latency(send_round - e.sent);
+        } else {
+          ++digest.link_dropped;  // expired: the phase moved on
+        }
+      }
+
+      // This round's copies, under the medium discipline: a half-duplex /
+      // broadcast receiver that transmitted hears nothing, and on a
+      // colliding broadcast medium two or more transmitting neighbours
+      // jam each other out.
+      const bool rx_busy = medium != medium_mode::full && transmit[u] != 0;
+      std::size_t tx_neighbors = 0;
+      if (collide) {
+        for (node_id v : g.neighbors(u)) {
+          tx_neighbors += static_cast<std::size_t>(transmit[v]);
+        }
+      }
+      for (node_id v : g.neighbors(u)) {
+        if (transmit[v] == 0) continue;
+        ++digest.link_sent;
+        if (rx_busy || (collide && tx_neighbors >= 2) ||
+            link_->lost(send_round, v, u)) {
+          ++digest.link_dropped;
+          continue;
+        }
+        const round_t d = link_->delay(send_round, v, u);
+        if (d == 0) {
+          inbox.push_back(&*msgs[v]);
+          ++digest.link_delivered;
+          record_latency(0);
+        } else {
+          if (shared[v] == nullptr) {
+            shared[v] = std::make_shared<const Msg>(*msgs[v]);
+          }
+          flight_.push_back({send_round + d, send_round, u, false, shared[v],
+                             &typeid(Msg)});
+        }
+      }
+      deliver(u, static_cast<const std::vector<const Msg*>&>(inbox));
+    }
+
+    std::erase_if(flight_, [](const flight_entry& e) { return e.consumed; });
+    digest.link_in_flight = flight_.size();
+    link_sent_total_ += digest.link_sent;
+    link_delivered_total_ += digest.link_delivered;
+    link_dropped_total_ += digest.link_dropped;
+    // Conservation: every copy that ever entered the channel has exactly
+    // one fate — delivered, dropped, or still in flight.
+    NCDN_AUDIT(link_sent_total_ ==
+               link_delivered_total_ + link_dropped_total_ + flight_.size());
+  }
 
   std::size_t n_;
   std::size_t b_bits_;
@@ -152,6 +309,11 @@ class network {
   std::size_t max_message_bits_ = 0;
   std::vector<rng> node_rngs_;
   std::function<void(const round_digest&)> round_hook_;
+  std::unique_ptr<link_model> link_;       // null = reliable default
+  std::vector<flight_entry> flight_;       // delayed copies, enqueue order
+  std::uint64_t link_sent_total_ = 0;      // cumulative copy accounting
+  std::uint64_t link_delivered_total_ = 0;
+  std::uint64_t link_dropped_total_ = 0;
 };
 
 }  // namespace ncdn

@@ -1,0 +1,302 @@
+#include "linkmodel/linkmodel.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/rng.hpp"
+
+namespace ncdn {
+
+namespace {
+
+// Draw streams.  Every channel decision hashes (link seed, stream tag,
+// edge, per-round index) through splitmix64; distinct tags keep the loss,
+// delay, chain, and transmit-gate streams independent of each other even
+// on the same edge and round.
+constexpr std::uint64_t stream_loss = 1;
+constexpr std::uint64_t stream_delay = 2;
+constexpr std::uint64_t stream_chain = 3;
+constexpr std::uint64_t stream_chain_init = 4;
+constexpr std::uint64_t stream_tx = 5;
+
+/// Stateless hash draw: a pure function of its four inputs (the
+/// determinism contract of dynnet/channel.hpp hangs off this).
+std::uint64_t link_draw(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  state = splitmix64(state);
+  state ^= 0xbf58476d1ce4e5b9ULL * (a + 1);
+  state = splitmix64(state);
+  state ^= 0x94d049bb133111ebULL * (b + 1);
+  return splitmix64(state);
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Undirected edge key (node ids are 32-bit).
+std::uint64_t edge_key(node_id u, node_id v) {
+  const node_id lo = u < v ? u : v;
+  const node_id hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// Directed per-round index: one slot per (round, direction).
+std::uint64_t round_slot(round_t round, node_id from, node_id to) {
+  return round * 2 + (from < to ? 0 : 1);
+}
+
+double checked_link_probability(const std::string& context, const char* key,
+                                double value) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument("ncdn: " + context + " needs " + key +
+                                " in [0, 1]");
+  }
+  return value;
+}
+
+/// Two-state Gilbert-Elliott erasure chain, one chain per undirected edge.
+/// The chain state at round r is a pure function of (seed, edge, r): the
+/// initial state is a stationary hash draw and every advance step s in
+/// 1..r uses the hashed draw for (edge, s).  The cache only memoizes that
+/// function (queries arrive in nondecreasing round order per edge, so the
+/// advance loop is O(1) amortized); it can never leak state across edges.
+class gilbert_elliott_chain {
+ public:
+  gilbert_elliott_chain(std::uint64_t seed, double p_good_bad,
+                        double p_bad_good, double loss_good, double loss_bad)
+      : seed_(seed),
+        p_good_bad_(p_good_bad),
+        p_bad_good_(p_bad_good),
+        loss_good_(loss_good),
+        loss_bad_(loss_bad) {}
+
+  bool lost(round_t round, node_id from, node_id to) {
+    const std::uint64_t key = edge_key(from, to);
+    const bool bad = state_at(key, round);
+    const double p = bad ? loss_bad_ : loss_good_;
+    if (p <= 0.0) return false;
+    return unit(link_draw(seed_, stream_loss, key,
+                          round_slot(round, from, to))) < p;
+  }
+
+ private:
+  struct edge_state {
+    round_t next = 0;  // first advance step not yet applied
+    bool bad = false;
+  };
+
+  bool state_at(std::uint64_t key, round_t round) {
+    auto [it, fresh] = states_.try_emplace(key);
+    edge_state& st = it->second;
+    if (fresh) {
+      // Stationary start so the first observed round is not biased good.
+      const double denom = p_good_bad_ + p_bad_good_;
+      const double pi_bad = denom > 0.0 ? p_good_bad_ / denom : 0.0;
+      st.bad = unit(link_draw(seed_, stream_chain_init, key, 0)) < pi_bad;
+      st.next = 1;
+    }
+    NCDN_ASSERT(st.next <= round + 1);  // queries are nondecreasing per edge
+    for (; st.next <= round; ++st.next) {
+      const double u = unit(link_draw(seed_, stream_chain, key, st.next));
+      st.bad = st.bad ? !(u < p_bad_good_) : u < p_good_bad_;
+    }
+    return st.bad;
+  }
+
+  std::uint64_t seed_;
+  double p_good_bad_;
+  double p_bad_good_;
+  double loss_good_;
+  double loss_bad_;
+  std::map<std::uint64_t, edge_state> states_;
+};
+
+/// The full channel: a loss process wrapped with the shared latency and
+/// medium layer (see linkmodel.hpp for the param vocabulary).
+class channel final : public link_model {
+ public:
+  channel(std::function<bool(round_t, node_id, node_id)> loss,
+          std::uint64_t seed, round_t fixed_delay, round_t max_delay,
+          medium_mode medium, bool collisions, double tx_prob)
+      : loss_(std::move(loss)),
+        seed_(seed),
+        fixed_delay_(fixed_delay),
+        max_delay_(max_delay),
+        medium_(medium),
+        collisions_(collisions),
+        tx_prob_(tx_prob) {}
+
+  bool lost(round_t round, node_id from, node_id to) override {
+    return loss_(round, from, to);
+  }
+
+  round_t delay(round_t round, node_id from, node_id to) override {
+    if (max_delay_ == 0) return fixed_delay_;
+    const std::uint64_t h = link_draw(seed_, stream_delay,
+                                      edge_key(from, to),
+                                      round_slot(round, from, to));
+    return static_cast<round_t>(h % (max_delay_ + 1));
+  }
+
+  bool transmits(round_t round, node_id u) override {
+    if (tx_prob_ >= 1.0) return true;
+    return unit(link_draw(seed_, stream_tx, u, round)) < tx_prob_;
+  }
+
+  medium_mode medium() const override { return medium_; }
+  bool collisions() const override { return collisions_; }
+
+ private:
+  std::function<bool(round_t, node_id, node_id)> loss_;
+  std::uint64_t seed_;
+  round_t fixed_delay_;
+  round_t max_delay_;  // 0 = fixed delay; else uniform in [0, max_delay_]
+  medium_mode medium_;
+  bool collisions_;
+  double tx_prob_;
+};
+
+void register_builtin_links(link_registry& reg) {
+  reg.add({"perfect", "reliable erasure-free links (latency/medium only)",
+           [](param_reader&, std::uint64_t) {
+             return [](round_t, node_id, node_id) { return false; };
+           }});
+  reg.add({"bernoulli", "iid per-copy erasures with probability p [p]",
+           [](param_reader& params, std::uint64_t seed) {
+             const double p = checked_link_probability(
+                 "link model 'bernoulli'", "p", params.real("p", 0.1));
+             return [p, seed](round_t round, node_id from, node_id to) {
+               if (p <= 0.0) return false;
+               return unit(link_draw(seed, stream_loss, edge_key(from, to),
+                                     round_slot(round, from, to))) < p;
+             };
+           }});
+  reg.add({"gilbert-elliott",
+           "two-state bursty erasures [p_good_bad, p_bad_good, loss_good, "
+           "loss_bad]",
+           [](param_reader& params, std::uint64_t seed) {
+             const std::string ctx = "link model 'gilbert-elliott'";
+             const double p_gb = checked_link_probability(
+                 ctx, "p_good_bad", params.real("p_good_bad", 0.1));
+             const double p_bg = checked_link_probability(
+                 ctx, "p_bad_good", params.real("p_bad_good", 0.3));
+             const double loss_good = checked_link_probability(
+                 ctx, "loss_good", params.real("loss_good", 0.02));
+             const double loss_bad = checked_link_probability(
+                 ctx, "loss_bad", params.real("loss_bad", 0.6));
+             auto chain = std::make_shared<gilbert_elliott_chain>(
+                 seed, p_gb, p_bg, loss_good, loss_bad);
+             return [chain](round_t round, node_id from, node_id to) {
+               return chain->lost(round, from, to);
+             };
+           }});
+}
+
+}  // namespace
+
+link_registry& link_registry::instance() {
+  static link_registry reg = [] {
+    link_registry r;
+    register_builtin_links(r);
+    return r;
+  }();
+  return reg;
+}
+
+void link_registry::add(link_entry entry) {
+  NCDN_EXPECTS(!entry.name.empty());
+  NCDN_EXPECTS(find(entry.name) == nullptr);  // duplicate registration
+  entries_.push_back(std::move(entry));
+}
+
+const link_entry* link_registry::find(const std::string& name) const {
+  for (const link_entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> list_link_names() {
+  std::vector<std::string> out;
+  for (const link_entry& e : link_registry::instance().entries()) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+std::unique_ptr<link_model> build_link_model(const link_spec& spec,
+                                             std::uint64_t seed) {
+  NCDN_EXPECTS(!spec.empty());
+  const link_entry* entry = link_registry::instance().find(spec.name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ncdn: unknown link model '" + spec.name +
+                                "' (known: " + join_keys(list_link_names()) +
+                                ")");
+  }
+  const std::string context = "link model '" + spec.name + "'";
+  param_reader params(spec.params, context);
+  auto loss = entry->make_loss(params, seed);
+
+  const round_t fixed_delay = params.u64("delay", 0);
+  const round_t max_delay = params.u64("delay_max", 0);
+  if (fixed_delay != 0 && max_delay != 0) {
+    throw std::invalid_argument("ncdn: " + context +
+                                " takes delay or delay_max, not both");
+  }
+  medium_mode medium = medium_mode::full;
+  const std::string medium_name = params.str("medium", "full");
+  if (medium_name == "full") {
+    medium = medium_mode::full;
+  } else if (medium_name == "half-duplex") {
+    medium = medium_mode::half_duplex;
+  } else if (medium_name == "broadcast") {
+    medium = medium_mode::broadcast;
+  } else {
+    throw std::invalid_argument("ncdn: " + context +
+                                " needs medium=full|half-duplex|broadcast, "
+                                "got '" + medium_name + "'");
+  }
+  const bool collisions = params.flag("collisions", true);
+  const double tx_prob = params.real("tx_prob", 1.0);
+  if (!(tx_prob > 0.0 && tx_prob <= 1.0)) {
+    throw std::invalid_argument("ncdn: " + context +
+                                " needs tx_prob in (0, 1]");
+  }
+  params.expect_fully_consumed();
+  return std::make_unique<channel>(std::move(loss), seed, fixed_delay,
+                                   max_delay, medium, collisions, tx_prob);
+}
+
+link_spec parse_link_spec(const std::string& text) {
+  link_spec spec;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string part =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (first) {
+      if (part.empty() || part.find('=') != std::string::npos) {
+        throw std::invalid_argument(
+            "ncdn: --link needs \"name[,key=value]...\", got '" + text + "'");
+      }
+      spec.name = part;
+      first = false;
+    } else {
+      const std::size_t eq = part.find('=');
+      if (eq == 0 || eq == std::string::npos) {
+        throw std::invalid_argument("ncdn: bad --link parameter '" + part +
+                                    "' (need key=value)");
+      }
+      spec.params[part.substr(0, eq)] = part.substr(eq + 1);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+}  // namespace ncdn

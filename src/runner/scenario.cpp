@@ -141,6 +141,92 @@ std::vector<scenario> build_registry() {
       }
     }
   }
+
+  // Lossy-realism cells (PR7): the link-model axis (src/linkmodel) crossed
+  // with the loss-tolerant protocols.  Names insert a "link:" segment so
+  // sweeps and CI can select (or exclude) the whole axis with one
+  // substring; the reliable matrix above never carries that segment.
+  struct link_cell {
+    const char* name;
+    const char* variant;  // "" = registry defaults
+    param_map params;
+    const char* adv = "permuted-path";
+  };
+  // Eight channel variants: iid loss light/heavy, bursty loss, fixed and
+  // uniform latency, loss+latency combined, and the two contended media
+  // (an ALOHA-style tx_prob keeps all-transmit protocols from deadlocking
+  // under half-duplex / collisions).  The broadcast cell runs on a clique
+  // so collisions actually contend.
+  const std::vector<link_cell> link_axis = {
+      {"bernoulli", "p=0.1", {{"p", "0.1"}}},
+      {"bernoulli", "p=0.3", {{"p", "0.3"}}},
+      {"gilbert-elliott", "",
+       {{"p_good_bad", "0.1"},
+        {"p_bad_good", "0.3"},
+        {"loss_good", "0.02"},
+        {"loss_bad", "0.6"}}},
+      {"perfect", "delay=2", {{"delay", "2"}}},
+      {"perfect", "delay_max=3", {{"delay_max", "3"}}},
+      {"bernoulli", "p=0.1,delay_max=2", {{"p", "0.1"}, {"delay_max", "2"}}},
+      {"perfect", "half-duplex",
+       {{"medium", "half-duplex"}, {"tx_prob", "0.7"}}},
+      {"perfect", "broadcast",
+       {{"medium", "broadcast"}, {"tx_prob", "0.3"}},
+       "static-clique"},
+  };
+  // The loss-tolerant protocol rows the axis crosses (params mirror the
+  // reliable rows so the only difference is the channel), plus the
+  // recoding-buffer grid points and two full-tier n32 cells.
+  struct link_row {
+    const char* alg;
+    const char* variant;
+    param_map params;
+    std::size_t n;
+    std::size_t b;
+    std::size_t links = ~std::size_t{0};  // bitmask into link_axis
+  };
+  const std::vector<link_row> link_rows = {
+      {"rlnc-direct", "", {}, 16, 32},
+      {"rlnc-sparse", "", {{"rho", "0.2"}}, 16, 32},
+      {"token-forwarding-pipelined", "", {}, 16, 16},
+      // Recoding-buffer node mode under iid loss: bounded FIFO, both
+      // eviction policies, and the generation backend recoding narrow.
+      {"rlnc-direct", "buf=8", {{"buf", "8"}, {"evict", "oldest"}}, 16, 32,
+       0x1},
+      {"rlnc-direct", "buf=8,evict=newest",
+       {{"buf", "8"}, {"evict", "newest"}}, 16, 32, 0x1},
+      {"rlnc-gen", "buf=8",
+       {{"gen_size", "8"}, {"band_overlap", "2"}, {"buf", "8"},
+        {"evict", "oldest"}},
+       16, 32, 0x1},
+      // Full-tier spot checks at n32.
+      {"rlnc-direct", "", {}, 32, 32, 0x1 | 0x4},
+  };
+  for (const link_row& row : link_rows) {
+    NCDN_ASSERT(protocol_registry::instance().find(row.alg) != nullptr);
+    const std::string alg_segment = spec_segment(row.alg, row.variant);
+    for (std::size_t li = 0; li < link_axis.size(); ++li) {
+      if ((row.links & (std::size_t{1} << li)) == 0) continue;
+      const link_cell& lc = link_axis[li];
+      scenario s;
+      s.alg = row.alg;
+      s.adv = lc.adv;
+      s.link = lc.name;
+      s.params = row.params;
+      s.link_params = lc.params;
+      s.prob.n = row.n;
+      s.prob.k = row.n;
+      s.prob.d = 8;
+      s.prob.b = row.b;
+      s.prob.t_stability = 1;
+      s.prob.place = placement::one_per_node;
+      s.tier = tier_for(row.n);
+      s.name = alg_segment + "/" + lc.adv + "/link:" +
+               spec_segment(lc.name, lc.variant) + "/n" +
+               std::to_string(row.n);
+      out.push_back(std::move(s));
+    }
+  }
   return out;
 }
 

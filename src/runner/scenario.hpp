@@ -28,19 +28,25 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "linkmodel/linkmodel.hpp"
 
 namespace ncdn::runner {
 
 struct scenario {
   std::string name;  // "<algorithm>[variant]/<adversary>[variant]/n<nodes>"
+                     // (link cells insert a "link:<model>[variant]" segment
+                     // before the size suffix)
   std::string alg;   // protocol registry name
   std::string adv;   // adversary registry name
+  std::string link;  // link registry name ("" = reliable default)
   std::string tier;  // "smoke" | "full" | "nightly"
   param_map params;  // spec overrides (protocol + adversary variant params)
+  param_map link_params;  // channel params (separate vocabulary)
   problem prob;
 
   protocol_spec protocol() const { return {alg, params}; }
   adversary_spec adversary() const { return {adv, params}; }
+  link_spec linkspec() const { return {link, link_params}; }
 };
 
 /// The tier label a cell of `n` nodes lands in: n <= 16 "smoke",

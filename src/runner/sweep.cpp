@@ -87,7 +87,7 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
         const scenario& scen = result.scenarios[cell.scenario_index];
         try {
           batch.emplace(scen.prob, scen.protocol(), scen.adversary(),
-                        cell.seed);
+                        scen.linkspec(), cell.seed);
           cell_of.push_back(i);
         } catch (const std::exception& err) {
           cell_errors[i] = err.what();
@@ -163,6 +163,15 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(c, "scenario", scen.name);
     json::put(c, "algorithm", scen.alg);
     json::put(c, "adversary", scen.adv);
+    // v2 addendum (PR7): the channel spec, present only on link cells so
+    // the reliable matrix's bytes are untouched.
+    if (!scen.link.empty()) {
+      std::string spec = scen.link;
+      for (const auto& [key, val] : scen.link_params) {
+        spec += "," + key + "=" + val;
+      }
+      json::put(c, "link", spec);
+    }
     // v2 addendum (PR5): the CI tier the cell belongs to ("smoke" gates
     // PRs, "full"/"nightly" run on the schedule).
     json::put(c, "tier", scen.tier);
@@ -183,8 +192,22 @@ json::value sweep_to_json(const sweep_result& result) {
     // v2: the session's per-round observer aggregates.
     const session_metrics& m = cell.report.metrics;
     json::object mo;
-    json::put(mo, "observed_completion_round",
-              std::uint64_t{m.observed_completion_round});
+    if (cell.report.complete) {
+      json::put(mo, "observed_completion_round",
+                std::uint64_t{m.observed_completion_round});
+    } else {
+      // v2 addendum (PR7): a cell that capped out before dissemination
+      // finished says so explicitly — a -1 sentinel instead of the
+      // ambiguous 0, plus how far knowledge got (1.0 = everyone knows
+      // everything).
+      json::put(mo, "observed_completion_round", -1);
+      const double denom =
+          static_cast<double>(scen.prob.n) * static_cast<double>(scen.prob.k);
+      json::put(mo, "completion_rate",
+                denom > 0.0
+                    ? static_cast<double>(m.final_total_knowledge) / denom
+                    : 0.0);
+    }
     json::put(mo, "rounds_with_traffic", std::uint64_t{m.rounds_with_traffic});
     json::put(mo, "total_messages", m.total_messages);
     json::put(mo, "total_message_bits", m.total_message_bits);
@@ -194,6 +217,23 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(mo, "final_tokens_retired", m.final_tokens_retired);
     // v2 addendum (PR3): decode cost, for the rounds-vs-XORs frontier.
     json::put(mo, "elimination_xors", m.total_elimination_xors);
+    // v2 addendum (PR7): channel accounting, present only when a link
+    // model ran.  Counts are directed copies; the latency histogram
+    // buckets deliveries by rounds spent in flight (index 0 = same-round).
+    if (m.link_active) {
+      json::object lm;
+      json::put(lm, "messages_sent", m.total_messages_sent);
+      json::put(lm, "messages_delivered", m.total_messages_delivered);
+      json::put(lm, "messages_dropped", m.total_messages_dropped);
+      json::put(lm, "messages_in_flight", m.messages_in_flight);
+      json::array lat;
+      lat.reserve(m.delivery_latency.size());
+      for (std::size_t bucket : m.delivery_latency) {
+        lat.push_back(json::value{bucket});
+      }
+      json::put(lm, "delivery_latency", json::value{std::move(lat)});
+      json::put(mo, "link", json::value{std::move(lm)});
+    }
     json::put(c, "metrics", json::value{std::move(mo)});
     cells.push_back(json::value{std::move(c)});
   }
@@ -205,16 +245,31 @@ json::value sweep_to_json(const sweep_result& result) {
     std::vector<double> rounds;
     rounds.reserve(trials);
     bool all_complete = true;
+    double rate_sum = 0.0;
+    const problem& prob = result.scenarios[si].prob;
+    const double denom =
+        static_cast<double>(prob.n) * static_cast<double>(prob.k);
     for (std::size_t t = 0; t < trials; ++t) {
       const cell_result& cell = result.cells[si * trials + t];
       rounds.push_back(static_cast<double>(cell.report.rounds));
       all_complete = all_complete && cell.report.complete;
+      rate_sum +=
+          cell.report.complete || denom <= 0.0
+              ? 1.0
+              : static_cast<double>(cell.report.metrics.final_total_knowledge) /
+                    denom;
     }
     const summary s = summarize(std::move(rounds));
     json::object row;
     json::put(row, "scenario", result.scenarios[si].name);
     json::put(row, "trials", trials);
     json::put(row, "all_complete", all_complete);
+    // v2 addendum (PR7): mean progress over trials, only for scenarios
+    // with a capped-out trial (complete trials count 1.0).
+    if (!all_complete) {
+      json::put(row, "completion_rate",
+                rate_sum / static_cast<double>(trials));
+    }
     json::object r;
     json::put(r, "mean", s.mean);
     json::put(r, "median", s.median);

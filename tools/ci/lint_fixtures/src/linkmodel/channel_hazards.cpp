@@ -1,0 +1,36 @@
+// Fixture: the hazards a channel layer invites.  Per-edge noise must
+// come from seeded hash draws and the in-flight queue must iterate in a
+// stable order; the constructs below are the tempting wrong ways to
+// build each, and the tail shows the shapes that pass clean.
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+struct flight_entry {
+  int due;
+};
+
+// An in-flight queue keyed by edge in an unordered map delivers in hash
+// order — the library's bucket layout leaks into delivery order.
+std::unordered_map<long, flight_entry> bad_flight_queue;
+
+// Seeding channel noise from entropy makes every replay a new network.
+int entropy_loss_draw() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+// Keying per-edge state on an object's address iterates in allocation
+// order, which the allocator owns, not the topology.
+std::map<flight_entry*, int> bad_edge_state;
+
+// The right shapes: an ordered key, or an annotated lookup-only use.
+std::map<long, flight_entry> good_flight_queue;
+
+// ncdn-lint: allow(unordered-container): membership probe only, never
+// iterated; results are order-independent.
+std::unordered_map<long, int> edge_lookup_cache;
+
+}  // namespace fixture

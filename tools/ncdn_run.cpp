@@ -3,6 +3,7 @@
 //   ncdn-run list [PATTERN]          list registry scenarios (name match)
 //   ncdn-run list-algorithms         every registered protocol + summary
 //   ncdn-run list-adversaries        every registered adversary + summary
+//   ncdn-run list-links              every registered link model + summary
 //   ncdn-run run NAME [options]      one named scenario, one seed
 //   ncdn-run run --alg A --topo T [options]
 //                                    ad-hoc cell from registry spec names
@@ -11,7 +12,13 @@
 //     --param K=V       spec override, repeatable: problem keys (n, k, d,
 //                       b, t_stability, slack, placement) or factory keys
 //                       (radius, extra_edges, epoch_cap, phase_factor, ...)
+//     --link SPEC       per-edge channel "name[,key=value]..." (see
+//                       src/linkmodel; e.g. --link bernoulli,p=0.2 or
+//                       --link perfect,delay_max=3); requires a
+//                       loss-tolerant protocol
 //     --trace           print a per-round observer line while running
+//                       (gains sent/delivered/dropped/in-flight columns
+//                       when a link model is active)
 //   ncdn-run sweep [options]         parallel sweep, JSON results
 //     --match PATTERN   substring filter over scenario names (repeatable;
 //                       a scenario is swept if any pattern matches)
@@ -50,10 +57,12 @@ using namespace ncdn::runner;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list [PATTERN]\n"
-               "       %s list-algorithms | list-adversaries\n"
-               "       %s run NAME [--seed S] [--param K=V]... [--trace]\n"
+               "       %s list-algorithms | list-adversaries | "
+               "list-links\n"
+               "       %s run NAME [--seed S] [--param K=V]... "
+               "[--link SPEC] [--trace]\n"
                "       %s run --alg NAME --topo NAME [--seed S] "
-               "[--param K=V]... [--trace]\n"
+               "[--param K=V]... [--link SPEC] [--trace]\n"
                "       %s sweep [--match PATTERN]... [--tier NAME] "
                "[--filter REGEX] "
                "[--seeds N] [--base-seed S] [--threads N] [--batch N] "
@@ -105,6 +114,15 @@ int cmd_list_adversaries() {
   return 0;
 }
 
+int cmd_list_links() {
+  for (const link_entry& e : link_registry::instance().entries()) {
+    std::printf("%-28s %s\n", e.name.c_str(), e.summary.c_str());
+  }
+  std::fprintf(stderr, "%zu link model(s)\n",
+               link_registry::instance().entries().size());
+  return 0;
+}
+
 void print_report(const std::string& label, const run_report& rep) {
   const session_metrics& m = rep.metrics;
   std::printf("scenario           %s\n", label.c_str());
@@ -130,6 +148,14 @@ void print_report(const std::string& label, const run_report& rep) {
               m.final_tokens_retired);
   std::printf("elimination_xors   %llu\n",
               static_cast<unsigned long long>(m.total_elimination_xors));
+  if (m.link_active) {
+    std::printf("link_copies        sent=%llu delivered=%llu dropped=%llu "
+                "in_flight=%zu\n",
+                static_cast<unsigned long long>(m.total_messages_sent),
+                static_cast<unsigned long long>(m.total_messages_delivered),
+                static_cast<unsigned long long>(m.total_messages_dropped),
+                m.messages_in_flight);
+  }
 }
 
 int cmd_run(int argc, char** argv) {
@@ -138,6 +164,7 @@ int cmd_run(int argc, char** argv) {
   std::string topo;
   std::uint64_t seed = 1;
   param_map params;
+  std::string link_text;
   bool trace = false;
 
   for (int i = 0; i < argc; ++i) {
@@ -173,6 +200,10 @@ int cmd_run(int argc, char** argv) {
         return 2;
       }
       params[std::string(p, eq)] = std::string(eq + 1);
+    } else if (arg == "--link") {
+      const char* p = next("--link");
+      if (p == nullptr) return 2;
+      link_text = p;
     } else if (arg == "--trace") {
       trace = true;
     } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
@@ -202,6 +233,13 @@ int cmd_run(int argc, char** argv) {
     alg = s->alg;
     topo = s->adv;
     label = s->name;
+    // A link scenario carries its channel; an explicit --link overrides.
+    if (link_text.empty() && !s->link.empty()) {
+      link_text = s->link;
+      for (const auto& [key, val] : s->link_params) {
+        link_text += "," + key + "=" + val;
+      }
+    }
   } else {
     if (alg.empty() || topo.empty()) {
       std::fprintf(stderr,
@@ -219,16 +257,23 @@ int cmd_run(int argc, char** argv) {
   }
 
   try {
+    link_spec link;
+    if (!link_text.empty()) link = parse_link_spec(link_text);
     session s(prob, protocol_spec{alg, params}, adversary_spec{topo, params},
-              seed);
+              std::move(link), seed);
     if (trace) {
       s.set_observer([](const round_metrics& m) {
         std::printf("round %6llu  know %zu..%zu (sum %zu)  edges %zu  "
-                    "msgs %zu  bits %zu  retired %zu%s\n",
+                    "msgs %zu  bits %zu  retired %zu",
                     static_cast<unsigned long long>(m.round), m.min_knowledge,
                     m.max_knowledge, m.total_knowledge, m.topology_edges,
-                    m.messages, m.message_bits, m.tokens_retired,
-                    m.silent ? "  (silent)" : "");
+                    m.messages, m.message_bits, m.tokens_retired);
+        if (m.link_active) {
+          std::printf("  sent %zu  dlvd %zu  drop %zu  flight %zu",
+                      m.messages_sent, m.messages_delivered,
+                      m.messages_dropped, m.messages_in_flight);
+        }
+        std::printf("%s\n", m.silent ? "  (silent)" : "");
       });
     }
     const run_report& rep = s.run_to_completion();
@@ -412,6 +457,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "list-adversaries") {
     return cmd_list_adversaries();
+  }
+  if (cmd == "list-links") {
+    return cmd_list_links();
   }
   if (cmd == "run") {
     if (argc < 3) return usage(argv[0]);
