@@ -39,9 +39,9 @@ class span_coder final : public node_coder {
 
   void insert(const bitvec& row) override { dec_.insert(row); }
 
-  std::optional<bitvec> make_combination(rng& r) override {
-    return dense_ ? dec_.random_combination(r)
-                  : dec_.sparse_combination(r, rho_);
+  std::optional<bitvec> make_combination(rng& r, word_arena* pool) override {
+    return dense_ ? dec_.random_combination(r, pool)
+                  : dec_.sparse_combination(r, rho_, pool);
   }
 
   std::size_t rank() const override { return dec_.rank(); }
@@ -127,7 +127,7 @@ class generation_coder final : public node_coder {
     }
   }
 
-  std::optional<bitvec> make_combination(rng& r) override {
+  std::optional<bitvec> make_combination(rng& r, word_arena* pool) override {
     reduce_all();
     std::size_t live = 0;
     for (const generation& g : gens_) {
@@ -143,16 +143,19 @@ class generation_coder final : public node_coder {
         break;
       }
     }
-    bitvec narrow(chosen->width + item_bits_);
+    bitvec narrow = pool != nullptr ? pool->make(chosen->width + item_bits_)
+                                    : bitvec(chosen->width + item_bits_);
     for (const bitvec& row : chosen->rows) {
       if (r.coin()) {
         narrow.xor_with(row);
         xor_words_ += narrow.words().size();
       }
     }
-    bitvec out(items_ + item_bits_);
+    bitvec out = pool != nullptr ? pool->make(items_ + item_bits_)
+                                 : bitvec(items_ + item_bits_);
     out.copy_bits_from(narrow, 0, chosen->width, chosen->start);
     out.copy_bits_from(narrow, chosen->width, item_bits_, items_);
+    if (pool != nullptr) pool->recycle(std::move(narrow));
     return out;
   }
 
@@ -286,9 +289,10 @@ class buffered_coder final : public node_coder {
     NCDN_AUDIT(buffer_.size() <= capacity_);  // recoder buffer bound
   }
 
-  std::optional<bitvec> make_combination(rng& r) override {
+  std::optional<bitvec> make_combination(rng& r, word_arena* pool) override {
     if (buffer_.empty()) return std::nullopt;
-    bitvec out(buffer_.front().size());
+    bitvec out = pool != nullptr ? pool->make(buffer_.front().size())
+                                 : bitvec(buffer_.front().size());
     for (const bitvec& row : buffer_) {
       if (r.coin()) {
         out.xor_with(row);

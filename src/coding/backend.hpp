@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "core/arena.hpp"
 #include "linalg/decoder.hpp"
 
 namespace ncdn {
@@ -44,8 +45,14 @@ class node_coder {
   virtual void insert(const bitvec& row) = 0;
 
   /// Draws this round's outgoing wire row (nullopt while nothing has been
-  /// received; a zero row is a legal draw, as in the dense path).
-  virtual std::optional<bitvec> make_combination(rng& r) = 0;
+  /// received; a zero row is a legal draw, as in the dense path).  A
+  /// non-null pool supplies the row's storage — the draws and the row's
+  /// contents are identical either way (core/arena.hpp).
+  virtual std::optional<bitvec> make_combination(rng& r,
+                                                 word_arena* pool) = 0;
+  std::optional<bitvec> make_combination(rng& r) {
+    return make_combination(r, nullptr);
+  }
 
   /// Knowledge exposed to the adaptive adversary: received-span rank for
   /// the full-span backends, decodable-token count for generation coding

@@ -1,0 +1,55 @@
+// A free-list pool of 64-bit word buffers for round-scoped bitvec rows.
+//
+// The coding hot loop allocates one [coefficients | payload] row per node
+// per round and frees it when the round's messages are torn down.  At
+// n = 65536 that is 65536 word-vector allocations a round — pure churn.
+// The session owns one word_arena and threads it (as a nullable pointer)
+// through the round engine and the coding backends: rows are built from
+// recycled storage and returned after delivery, so steady-state rounds
+// allocate nothing for outgoing rows.
+//
+// The arena only hands out storage; it never touches contents beyond
+// zero-filling on `make`, so a pooled row is bit-for-bit the row a fresh
+// `bitvec(bits)` would hold and the sweep byte-identity contract is
+// unaffected.  Not thread-safe by design: one arena per session, and a
+// session steps on one thread at a time.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/bitvec.hpp"
+
+namespace ncdn {
+
+class word_arena {
+ public:
+  /// A zeroed bitvec of `bits` bits, backed by pooled storage when any is
+  /// available (capacity is kept, so reuse is allocation-free once the
+  /// pool has seen a buffer of the needed size).
+  bitvec make(std::size_t bits) {
+    if (free_.empty()) {
+      ++allocs_;
+      return bitvec(bits);
+    }
+    ++reuses_;
+    std::vector<std::uint64_t> storage = std::move(free_.back());
+    free_.pop_back();
+    return bitvec(bits, std::move(storage));
+  }
+
+  /// Returns a bitvec's storage to the pool (the bitvec is left empty).
+  void recycle(bitvec&& v) { free_.push_back(std::move(v).release_storage()); }
+
+  std::size_t pooled() const noexcept { return free_.size(); }
+  std::uint64_t allocations() const noexcept { return allocs_; }
+  std::uint64_t reuses() const noexcept { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> free_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace ncdn

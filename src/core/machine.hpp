@@ -44,6 +44,9 @@ struct session_env {
   const token_distribution& dist;
   network& net;
   token_state& state;
+  /// The session's round-scoped row pool (null when pooling is disabled
+  /// via `pool=0`).  Coding protocols hand it to their rlnc_session.
+  word_arena* arena = nullptr;
 };
 
 /// What `advance()` reports: `again` while the protocol has more rounds to

@@ -231,6 +231,7 @@ round_task<protocol_result> coded_broadcast_run(
   const token_distribution& dist = env.dist;
   NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
   rlnc_session coding(env.prob.n, dist.k(), env.prob.d, backend());
+  coding.set_arena(env.arena);
   for (node_id u = 0; u < env.prob.n; ++u) {
     for (std::size_t t : dist.held_by_node[u]) {
       coding.seed(u, t, dist.tokens[t].payload);

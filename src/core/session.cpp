@@ -45,6 +45,36 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
           "', adversary spec says '" + a->second + "'");
     }
   }
+  // Session-level representation toggles ride the same way (both specs see
+  // the same CLI map, so check agreement, parse, and strip them before the
+  // factories reject leftovers).
+  for (const char* key : {"pool", "rebuild"}) {
+    const auto p = proto_spec_.params.find(key);
+    const auto a = adv_spec_.params.find(key);
+    if (p != proto_spec_.params.end() && a != adv_spec_.params.end() &&
+        p->second != a->second) {
+      throw std::invalid_argument(
+          std::string("ncdn: conflicting values for session parameter '") +
+          key + "'");
+    }
+    const std::string* value = nullptr;
+    if (p != proto_spec_.params.end()) value = &p->second;
+    if (a != adv_spec_.params.end()) value = &a->second;
+    if (value == nullptr) continue;
+    bool on = false;
+    if (*value == "1" || *value == "true") {
+      on = true;
+    } else if (*value == "0" || *value == "false") {
+      on = false;
+    } else {
+      throw std::invalid_argument(
+          std::string("ncdn: session parameter '") + key +
+          "' must be 0 or 1 (got '" + *value + "')");
+    }
+    (key == std::string("pool") ? pool_ : rebuild_) = on;
+    proto_spec_.params.erase(key);
+    adv_spec_.params.erase(key);
+  }
   {
     param_reader params(proto_spec_.params,
                         "protocol '" + proto_spec_.name + "'");
@@ -75,6 +105,7 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
   param_audit adv_audit;
   param_audit proto_audit;
   adv_ = build_adversary(prob_, adv_spec_, seed_ * 7919 + 11, &adv_audit);
+  adv_->set_rebuild_mode(rebuild_);
   // Protocols specified against the §4.1 model (every round's topology
   // connected over all nodes) must not run under adversaries that only
   // keep a live subset connected: their min-flood agreement steps would
@@ -93,6 +124,7 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
   }
   net_ = std::make_unique<network>(prob_.n, prob_.b, *adv_,
                                    seed_ * 104729 + 13, prob_.slack);
+  net_->set_arena(pool_ ? &arena_ : nullptr);
   if (!link_spec_.empty()) {
     // A configured channel may erase or delay deliveries, which breaks
     // every protocol whose correctness rests on reliable synchronous
@@ -150,7 +182,8 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
 
   net_->set_round_hook(
       [this](const round_digest& digest) { on_round(digest); });
-  env_.emplace(session_env{prob_, dist_, *net_, *state_});
+  env_.emplace(
+      session_env{prob_, dist_, *net_, *state_, pool_ ? &arena_ : nullptr});
 }
 
 void session::set_observer(observer_fn obs) {

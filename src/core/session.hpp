@@ -27,6 +27,7 @@
 
 #include <optional>
 
+#include "core/arena.hpp"
 #include "core/registry.hpp"
 #include "linkmodel/linkmodel.hpp"
 
@@ -106,6 +107,15 @@ class session {
   adversary_spec adv_spec_;
   link_spec link_spec_;
   std::uint64_t seed_ = 0;
+
+  // Session-level representation toggles, consumed from either spec's
+  // params before the factories see them.  Both are byte-identity-neutral:
+  // `pool=0` disables the row arena (plain heap rows), `rebuild=1` makes
+  // every adversary rebuild its topology from scratch instead of applying
+  // per-round deltas.  CI sweeps both off-paths against the same golden.
+  bool pool_ = true;
+  bool rebuild_ = false;
+  word_arena arena_;  // round-scoped row pool (see core/arena.hpp)
 
   token_distribution dist_;
   std::unique_ptr<adversary> adv_;

@@ -1,0 +1,34 @@
+// Process resource probes for the reporting surface.
+//
+// peak_rss_bytes reads VmHWM from /proc/self/status — the high-water mark
+// of the process's resident set.  It feeds the CLI's human-facing report
+// and the bench tables only; it must NEVER enter sweep JSON cells, which
+// are a pure function of (scenarios, trials, base_seed) and get
+// byte-compared in CI.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ncdn {
+
+/// Peak resident set size of this process in bytes; 0 when the platform
+/// offers no /proc/self/status (the probe degrades, nothing else does).
+inline std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace ncdn

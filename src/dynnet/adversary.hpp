@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "dynnet/delta.hpp"
 #include "dynnet/generators.hpp"
 #include "dynnet/graph.hpp"
 
@@ -80,9 +81,18 @@ class adversary {
   /// return false; the session refuses to pair them with protocols whose
   /// correctness rests on whole-graph agreement (min-flood consensus).
   virtual bool full_connectivity() const { return true; }
+
+  /// Opts this adversary (and any wrapped inner adversary) out of the
+  /// per-round delta path, forcing the historical full-rebuild loops.
+  /// The two paths are byte-identical by contract — the toggle exists so
+  /// equivalence tests and the `rebuild=1` spec param can prove it, not to
+  /// change behavior.  Families without a delta path ignore it.
+  virtual void set_rebuild_mode(bool) {}
 };
 
-/// Fixed topology every round (the static-network degenerate case).
+/// Fixed topology every round (the static-network degenerate case).  The
+/// graph is compacted to CSR storage at construction: base topologies live
+/// for the whole session, so they get the dense immutable representation.
 class static_adversary final : public adversary {
  public:
   explicit static_adversary(graph g);
@@ -109,6 +119,7 @@ class generator_adversary final : public adversary {
   rng rng_;
   graph current_;
   round_t current_round_ = ~round_t{0};
+  bfs_scratch scratch_;  // per-round connectivity contract check
 };
 
 /// T-stability wrapper (§8): delegates to an inner adversary but only lets
@@ -120,6 +131,9 @@ class t_stable_adversary final : public adversary {
   std::string name() const override;
   bool full_connectivity() const override {
     return inner_->full_connectivity();
+  }
+  void set_rebuild_mode(bool rebuild) override {
+    inner_->set_rebuild_mode(rebuild);
   }
   round_t stability() const noexcept { return t_; }
 
@@ -141,9 +155,14 @@ class t_interval_adversary final : public adversary {
                        std::uint64_t seed);
   const graph& topology(round_t r, const knowledge_view& view) override;
   std::string name() const override;
+  void set_rebuild_mode(bool rebuild) override { rebuild_mode_ = rebuild; }
   round_t interval() const noexcept { return t_; }
 
  private:
+  /// Audit oracle: the window tree plus the recorded extras, rebuilt from
+  /// scratch (no RNG) — must equal the delta-maintained `current_`.
+  graph audit_rebuild() const;
+
   std::size_t n_;
   round_t t_;
   std::size_t extra_edges_;
@@ -152,6 +171,11 @@ class t_interval_adversary final : public adversary {
   round_t tree_window_ = ~round_t{0};
   graph current_;
   round_t current_round_ = ~round_t{0};
+  bool rebuild_mode_ = false;
+  bool window_fresh_ = true;
+  // Extras actually added this round, in add order; delta mode pops them
+  // off the adjacency tails before drawing the next round's extras.
+  std::vector<std::pair<node_id, node_id>> extras_;
 };
 
 /// Adaptive adversary: arranges nodes on a path sorted by current knowledge
@@ -184,6 +208,10 @@ class edge_markov_adversary final : public adversary {
                         double p_off, std::uint64_t seed);
   const graph& topology(round_t r, const knowledge_view& view) override;
   std::string name() const override;
+  void set_rebuild_mode(bool rebuild) override {
+    rebuild_mode_ = rebuild;
+    base_->set_rebuild_mode(rebuild);
+  }
 
   /// Connectivity-repair edges added on the most recent round (observable
   /// so tests can assert the patching stays minimal).
@@ -203,6 +231,13 @@ class edge_markov_adversary final : public adversary {
   graph current_;
   round_t current_round_ = ~round_t{0};
   std::size_t forced_edges_ = 0;
+  bool rebuild_mode_ = false;
+  // Delta path: slot structure over the base's candidate edges plus one
+  // chain pointer per slot (map nodes are address-stable), so the steady
+  // state advances chains and flips slots without rebuilding the graph.
+  topology_delta delta_;
+  std::vector<edge_state*> chains_;
+  bfs_scratch scratch_;
 };
 
 /// Node churn over a base adversary: each round a live node departs with
@@ -220,6 +255,10 @@ class churn_adversary final : public adversary {
   std::string name() const override;
   /// Departed nodes are isolated: only the live set is connected.
   bool full_connectivity() const override { return false; }
+  void set_rebuild_mode(bool rebuild) override {
+    rebuild_mode_ = rebuild;
+    base_->set_rebuild_mode(rebuild);
+  }
 
   /// Liveness of every node on the most recent round (1 = live).
   const std::vector<char>& live() const noexcept { return live_; }
@@ -243,6 +282,11 @@ class churn_adversary final : public adversary {
   std::size_t live_count_ = 0;
   graph current_;
   round_t current_round_ = ~round_t{0};
+  bool rebuild_mode_ = false;
+  // Delta path: slot on-state is live(u) && live(v); only nodes whose
+  // liveness flipped this round refresh their incident slots.
+  topology_delta delta_;
+  std::vector<node_id> flipped_;
 };
 
 /// The paper's actual model class (Kuhn-Lynch-Oshman T-interval

@@ -185,8 +185,9 @@ class dsu {
 
 }  // namespace
 
-std::size_t make_connected_over(graph& g, const graph& base,
-                                const std::vector<char>* keep) {
+std::size_t make_connected_over(
+    graph& g, const graph& base, const std::vector<char>* keep,
+    std::vector<std::pair<node_id, node_id>>* added_out) {
   const std::size_t n = g.order();
   NCDN_EXPECTS(base.order() == n);
   NCDN_EXPECTS(keep == nullptr || keep->size() == n);
@@ -200,13 +201,19 @@ std::size_t make_connected_over(graph& g, const graph& base,
   }
 
   std::size_t added = 0;
+  auto record = [&](node_id u, node_id v) {
+    if (added_out != nullptr) added_out->emplace_back(u, v);
+  };
   // First pass: base edges between kept nodes, in adjacency order, so the
   // repair reuses links the base topology actually offers.
   for (node_id u = 0; u < n; ++u) {
     if (!kept(u)) continue;
     for (node_id v : base.neighbors(u)) {
       if (u < v && kept(v) && components.unite(u, v)) {
-        if (!g.has_edge(u, v)) g.add_edge(u, v);
+        if (!g.has_edge(u, v)) {
+          g.add_edge(u, v);
+          record(u, v);
+        }
         ++added;
       }
     }
@@ -227,6 +234,7 @@ std::size_t make_connected_over(graph& g, const graph& base,
   for (node_id u = 0; u < n; ++u) {
     if (kept(u) && components.unite(anchor, u)) {
       g.add_edge(anchor, u);
+      record(anchor, u);
       ++added;
     }
   }

@@ -41,8 +41,11 @@ graph random_geometric(std::size_t n, double radius, rng& r);
 /// cannot bridge the gap.  `keep` (optional, size n) restricts the repair
 /// to the marked nodes: unmarked nodes are left untouched (and isolated
 /// unmarked nodes do not count against connectivity).  Returns the number
-/// of edges added.
-std::size_t make_connected_over(graph& g, const graph& base,
-                                const std::vector<char>* keep = nullptr);
+/// of edges added; when `added_out` is non-null every added edge is also
+/// appended to it in add order (the delta path pops them off the adjacency
+/// tails next round).
+std::size_t make_connected_over(
+    graph& g, const graph& base, const std::vector<char>* keep = nullptr,
+    std::vector<std::pair<node_id, node_id>>* added_out = nullptr);
 
 }  // namespace ncdn::gen

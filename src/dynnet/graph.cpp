@@ -1,18 +1,44 @@
 #include "dynnet/graph.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <numeric>
 
 namespace ncdn {
 
+graph graph::from_edges(std::size_t n,
+                        std::span<const std::pair<node_id, node_id>> edges) {
+  graph g;
+  g.n_ = n;
+  g.csr_ = true;
+  g.edges_ = edges.size();
+  g.rev_ = detail::next_graph_revision();
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    NCDN_EXPECTS(u < n && v < n && u != v);
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  g.targets_.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.targets_[cursor[u]++] = v;
+    g.targets_[cursor[v]++] = u;
+  }
+  return g;
+}
+
 bool graph::has_edge(node_id u, node_id v) const noexcept {
   NCDN_EXPECTS(u < order() && v < order());
-  const auto& smaller = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
-  const node_id target = adj_[u].size() <= adj_[v].size() ? v : u;
+  const std::span<const node_id> nu = neighbors(u);
+  const std::span<const node_id> nv = neighbors(v);
+  const std::span<const node_id> smaller = nu.size() <= nv.size() ? nu : nv;
+  const node_id target = nu.size() <= nv.size() ? v : u;
   return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
 }
 
 void graph::normalize() {
+  NCDN_EXPECTS(!csr_);
   std::size_t edges = 0;
   for (auto& list : adj_) {
     std::sort(list.begin(), list.end());
@@ -20,12 +46,48 @@ void graph::normalize() {
     edges += list.size();
   }
   edges_ = edges / 2;
+  rev_ = detail::next_graph_revision();
+}
+
+void graph::compact() {
+  if (csr_) return;
+  offsets_.assign(n_ + 1, 0);
+  for (node_id u = 0; u < n_; ++u) {
+    offsets_[u + 1] =
+        offsets_[u] + static_cast<std::uint32_t>(adj_[u].size());
+  }
+  targets_.resize(offsets_[n_]);
+  for (node_id u = 0; u < n_; ++u) {
+    std::copy(adj_[u].begin(), adj_[u].end(),
+              targets_.begin() + offsets_[u]);
+  }
+  adj_.clear();
+  adj_.shrink_to_fit();
+  csr_ = true;
+  rev_ = detail::next_graph_revision();
+}
+
+bool graph::operator==(const graph& other) const noexcept {
+  if (n_ != other.n_ || edges_ != other.edges_) return false;
+  for (node_id u = 0; u < n_; ++u) {
+    const std::span<const node_id> a = neighbors(u);
+    const std::span<const node_id> b = other.neighbors(u);
+    if (a.size() != b.size()) return false;
+    if (!std::equal(a.begin(), a.end(), b.begin())) return false;
+  }
+  return true;
 }
 
 bool graph::is_connected() const {
+  bfs_scratch scratch;
+  return is_connected(scratch);
+}
+
+bool graph::is_connected(bfs_scratch& scratch) const {
   if (order() == 0) return true;
-  const auto dist = bfs_distances(0);
-  return std::none_of(dist.begin(), dist.end(),
+  const node_id root = 0;
+  bfs_distances(std::span<const node_id>(&root, 1), scratch);
+  return std::none_of(scratch.dist.begin(), scratch.dist.end(),
                       [](std::uint32_t d) { return d == infinite_distance; });
 }
 
@@ -35,33 +97,46 @@ std::vector<std::uint32_t> graph::bfs_distances(node_id src) const {
 
 std::vector<std::uint32_t> graph::bfs_distances(
     const std::vector<node_id>& srcs) const {
-  std::vector<std::uint32_t> dist(order(), infinite_distance);
-  std::queue<node_id> q;
+  bfs_scratch scratch;
+  bfs_distances(std::span<const node_id>(srcs.data(), srcs.size()), scratch);
+  return std::move(scratch.dist);
+}
+
+void graph::bfs_distances(std::span<const node_id> srcs,
+                          bfs_scratch& scratch) const {
+  const std::size_t n = order();
+  if (scratch.dist.capacity() < n || scratch.frontier.capacity() < n) {
+    ++scratch.grows;
+  }
+  scratch.dist.assign(n, infinite_distance);
+  scratch.frontier.clear();
+  scratch.frontier.reserve(n);
   for (node_id s : srcs) {
-    NCDN_EXPECTS(s < order());
-    if (dist[s] == infinite_distance) {
-      dist[s] = 0;
-      q.push(s);
+    NCDN_EXPECTS(s < n);
+    if (scratch.dist[s] == infinite_distance) {
+      scratch.dist[s] = 0;
+      scratch.frontier.push_back(s);
     }
   }
-  while (!q.empty()) {
-    const node_id u = q.front();
-    q.pop();
-    for (node_id v : adj_[u]) {
-      if (dist[v] == infinite_distance) {
-        dist[v] = dist[u] + 1;
-        q.push(v);
+  // Flat FIFO over the frontier vector: same visit order as a std::queue,
+  // zero node allocations.
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const node_id u = scratch.frontier[head];
+    for (node_id v : neighbors(u)) {
+      if (scratch.dist[v] == infinite_distance) {
+        scratch.dist[v] = scratch.dist[u] + 1;
+        scratch.frontier.push_back(v);
       }
     }
   }
-  return dist;
 }
 
 std::uint32_t graph::diameter() const {
+  bfs_scratch scratch;
   std::uint32_t best = 0;
   for (node_id u = 0; u < order(); ++u) {
-    const auto dist = bfs_distances(u);
-    for (std::uint32_t d : dist) {
+    bfs_distances(std::span<const node_id>(&u, 1), scratch);
+    for (std::uint32_t d : scratch.dist) {
       if (d == infinite_distance) return infinite_distance;
       best = std::max(best, d);
     }
@@ -70,27 +145,38 @@ std::uint32_t graph::diameter() const {
 }
 
 graph graph::power(std::uint32_t d) const {
+  bfs_scratch scratch;
+  return power(d, scratch);
+}
+
+graph graph::power(std::uint32_t d, bfs_scratch& scratch) const {
   NCDN_EXPECTS(d >= 1);
-  graph out(order());
-  for (node_id u = 0; u < order(); ++u) {
-    // Truncated BFS to depth d.
-    std::vector<std::uint32_t> dist(order(), infinite_distance);
-    std::queue<node_id> q;
-    dist[u] = 0;
-    q.push(u);
-    while (!q.empty()) {
-      const node_id x = q.front();
-      q.pop();
-      if (dist[x] == d) continue;
-      for (node_id y : adj_[x]) {
-        if (dist[y] == infinite_distance) {
-          dist[y] = dist[x] + 1;
-          q.push(y);
+  const std::size_t n = order();
+  graph out(n);
+  for (node_id u = 0; u < n; ++u) {
+    // Truncated BFS to depth d, reusing the caller's scratch across sources.
+    if (scratch.dist.capacity() < n || scratch.frontier.capacity() < n) {
+      ++scratch.grows;
+    }
+    scratch.dist.assign(n, infinite_distance);
+    scratch.frontier.clear();
+    scratch.frontier.reserve(n);
+    scratch.dist[u] = 0;
+    scratch.frontier.push_back(u);
+    for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+      const node_id x = scratch.frontier[head];
+      if (scratch.dist[x] == d) continue;
+      for (node_id y : neighbors(x)) {
+        if (scratch.dist[y] == infinite_distance) {
+          scratch.dist[y] = scratch.dist[x] + 1;
+          scratch.frontier.push_back(y);
         }
       }
     }
-    for (node_id v = u + 1; v < order(); ++v) {
-      if (dist[v] != infinite_distance && dist[v] >= 1) out.add_edge(u, v);
+    for (node_id v = u + 1; v < n; ++v) {
+      if (scratch.dist[v] != infinite_distance && scratch.dist[v] >= 1) {
+        out.add_edge(u, v);
+      }
     }
   }
   return out;

@@ -2,10 +2,28 @@
 // dynamic network model (paper §4.1).  The model requires every G(t) to be
 // connected; `is_connected` backs that contract, and powers/BFS serve the
 // patching construction of §8.1.
+//
+// Storage comes in two modes with identical observable adjacency order:
+//
+//   * dynamic — one vector per node, grown by `add_edge`.  This is the
+//     construction mode every generator uses and the only mode that can be
+//     mutated (it also backs the per-round delta path, see dynnet/delta.hpp).
+//   * CSR — a compact offsets/targets pair built in one pass by
+//     `from_edges` or by `compact()`-ing a dynamic graph.  Immutable, two
+//     allocations total, cache-dense iteration: the mode long-lived base
+//     topologies use at large n.
+//
+// Neighbor order is behavior-relevant repo-wide (the network builds inboxes
+// in `neighbors(u)` order, which feeds decoder insertion order and hence
+// the byte-identical sweep contract), so both modes preserve exactly the
+// order an equivalent `add_edge` sequence would produce, and `operator==`
+// compares that order, not just the edge set.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/contracts.hpp"
@@ -17,37 +35,103 @@ using round_t = std::uint64_t;
 
 constexpr std::uint32_t infinite_distance = 0xffffffffu;
 
+namespace detail {
+
+/// Process-unique graph revision stamps.  Per-object counters would
+/// collide when a graph object is rebuilt wholesale (move-assigned) with
+/// the same mutation count — two different windows of a generator base
+/// could then masquerade as "unchanged" to a delta consumer.  The stamp is
+/// compared for equality only and never emitted, so the global counter
+/// cannot perturb any output.
+inline std::uint64_t next_graph_revision() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace detail
+
+/// Reusable BFS working memory (distance labels + flat frontier queue).
+/// Callers that traverse every round hold one of these so steady-state
+/// traversals allocate nothing; `grows` counts the times a traversal had
+/// to enlarge a buffer (zero after warmup — asserted in the scaling bench).
+struct bfs_scratch {
+  std::vector<std::uint32_t> dist;
+  std::vector<node_id> frontier;
+  std::size_t grows = 0;
+};
+
 class graph {
  public:
   graph() = default;
-  explicit graph(std::size_t n) : adj_(n) {}
+  explicit graph(std::size_t n) : n_(n), adj_(n) {}
 
-  std::size_t order() const noexcept { return adj_.size(); }
+  /// Bulk CSR construction.  Edges are laid out in input order via one
+  /// counting-sort pass, so the adjacency order equals what the same
+  /// `add_edge` sequence would build — just without n per-node vectors.
+  static graph from_edges(std::size_t n,
+                          std::span<const std::pair<node_id, node_id>> edges);
+
+  std::size_t order() const noexcept { return n_; }
   std::size_t edge_count() const noexcept { return edges_; }
 
+  /// True once the graph is in immutable CSR storage.
+  bool compacted() const noexcept { return csr_; }
+
+  /// Bumped by every mutation; (address, revision) identifies a topology
+  /// snapshot, which is how delta consumers detect that a base graph they
+  /// bound to has been rebuilt in place.
+  std::uint64_t revision() const noexcept { return rev_; }
+
   void add_edge(node_id u, node_id v) {
+    NCDN_EXPECTS(!csr_);
     NCDN_EXPECTS(u < order() && v < order() && u != v);
     adj_[u].push_back(v);
     adj_[v].push_back(u);
     ++edges_;
+    rev_ = detail::next_graph_revision();
+  }
+
+  /// Removes edge (u,v), which must be the most recently appended entry at
+  /// BOTH endpoints (dynamic mode).  Delta consumers append repair/extra
+  /// edges at the adjacency tails each round and undo them here next round,
+  /// restoring the exact pre-append neighbor order.
+  void pop_edge_tail(node_id u, node_id v) {
+    NCDN_EXPECTS(!csr_);
+    NCDN_EXPECTS(u < order() && v < order());
+    NCDN_ASSERT(!adj_[u].empty() && adj_[u].back() == v);
+    NCDN_ASSERT(!adj_[v].empty() && adj_[v].back() == u);
+    adj_[u].pop_back();
+    adj_[v].pop_back();
+    --edges_;
+    rev_ = detail::next_graph_revision();
   }
 
   std::span<const node_id> neighbors(node_id u) const noexcept {
     NCDN_EXPECTS(u < order());
+    if (csr_) {
+      return {targets_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    }
     return adj_[u];
   }
 
-  std::size_t degree(node_id u) const noexcept {
-    NCDN_EXPECTS(u < order());
-    return adj_[u].size();
-  }
+  std::size_t degree(node_id u) const noexcept { return neighbors(u).size(); }
 
   bool has_edge(node_id u, node_id v) const noexcept;
 
-  /// Sorts adjacency lists and removes duplicate edges.
+  /// Sorts adjacency lists and removes duplicate edges (dynamic mode only).
   void normalize();
 
+  /// Converts dynamic storage to CSR in place, preserving adjacency order
+  /// and releasing the per-node vectors.  No-op when already compact.
+  void compact();
+
+  /// Exact structural equality: same order and the same neighbor sequence
+  /// at every node (storage mode does not matter).  Deliberately stricter
+  /// than set-equality — it is the delta-vs-rebuild cross-check.
+  bool operator==(const graph& other) const noexcept;
+
   bool is_connected() const;
+  bool is_connected(bfs_scratch& scratch) const;
 
   /// BFS distances from src (infinite_distance if unreachable).
   std::vector<std::uint32_t> bfs_distances(node_id src) const;
@@ -56,15 +140,29 @@ class graph {
   std::vector<std::uint32_t> bfs_distances(
       const std::vector<node_id>& srcs) const;
 
+  /// Scratch-reusing multi-source BFS; distances land in `scratch.dist`.
+  void bfs_distances(std::span<const node_id> srcs,
+                     bfs_scratch& scratch) const;
+
   /// Exact diameter via n BFS runs; infinite_distance if disconnected.
   std::uint32_t diameter() const;
 
   /// D-th graph power: edge (u,v) iff 0 < dist(u,v) <= D.
   graph power(std::uint32_t d) const;
+  graph power(std::uint32_t d, bfs_scratch& scratch) const;
 
  private:
-  std::vector<std::vector<node_id>> adj_;
+  // The delta engine edits adjacency tails and rebuilds per-node lists
+  // in place; it owns the pairwise consistency argument (see delta.hpp).
+  friend class topology_delta;
+
+  std::size_t n_ = 0;
+  std::vector<std::vector<node_id>> adj_;   // dynamic mode
+  std::vector<std::uint32_t> offsets_;      // CSR mode: n_ + 1 entries
+  std::vector<node_id> targets_;            // CSR mode: 2 * edges_ entries
   std::size_t edges_ = 0;
+  bool csr_ = false;
+  std::uint64_t rev_ = 0;
 };
 
 }  // namespace ncdn

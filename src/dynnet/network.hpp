@@ -21,6 +21,7 @@
 #include <typeinfo>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/contracts.hpp"
 #include "core/rng.hpp"
 #include "dynnet/adversary.hpp"
@@ -102,6 +103,13 @@ class network {
     link_ = std::move(link);
   }
   bool link_active() const noexcept { return link_ != nullptr; }
+
+  /// Round-teardown storage pool (the session's; null = no pooling).  When
+  /// set, message types exposing `recycle(word_arena&)` hand their heavy
+  /// buffers back after every receiver has been served, so the next
+  /// round's rows reuse them instead of reallocating.
+  void set_arena(word_arena* pool) noexcept { arena_ = pool; }
+  word_arena* arena() const noexcept { return arena_; }
   /// Copies currently sitting in the delivery queue.
   std::size_t messages_in_flight() const noexcept { return flight_.size(); }
 
@@ -153,6 +161,16 @@ class network {
       }
     } else {
       step_channel<Msg>(g, digest, msgs, deliver);
+    }
+    // All receivers are served; recycle the round's message buffers into
+    // the session arena (delayed channel copies hold their own shared
+    // heap copy, so this never touches an in-flight payload).
+    if constexpr (requires(Msg& m, word_arena& a) { m.recycle(a); }) {
+      if (arena_ != nullptr) {
+        for (auto& m : msgs) {
+          if (m.has_value()) m->recycle(*arena_);
+        }
+      }
     }
     ++round_;
     if (round_hook_) {
@@ -309,6 +327,7 @@ class network {
   std::size_t max_message_bits_ = 0;
   std::vector<rng> node_rngs_;
   std::function<void(const round_digest&)> round_hook_;
+  word_arena* arena_ = nullptr;            // session pool; null = no pooling
   std::unique_ptr<link_model> link_;       // null = reliable default
   std::vector<flight_entry> flight_;       // delayed copies, enqueue order
   std::uint64_t link_sent_total_ = 0;      // cumulative copy accounting

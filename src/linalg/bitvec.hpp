@@ -23,6 +23,21 @@ class bitvec {
   explicit bitvec(std::size_t bits)
       : bits_(bits), words_(words_for_bits(bits), 0) {}
 
+  /// Adopts `storage` as the word buffer (pool path, core/arena.hpp): the
+  /// buffer is resized and zero-filled, so the result is indistinguishable
+  /// from a fresh bitvec(bits) — only the allocation is saved.
+  bitvec(std::size_t bits, std::vector<std::uint64_t>&& storage)
+      : bits_(bits), words_(std::move(storage)) {
+    words_.assign(words_for_bits(bits), 0);
+  }
+
+  /// Moves the word buffer out (for recycling into a pool), leaving this
+  /// vector empty.
+  std::vector<std::uint64_t> release_storage() && noexcept {
+    bits_ = 0;
+    return std::move(words_);
+  }
+
   std::size_t size() const noexcept { return bits_; }
   bool empty() const noexcept { return bits_ == 0; }
 

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/contracts.hpp"
 #include "gf/field.hpp"
 #include "linalg/bitvec.hpp"
@@ -76,10 +77,12 @@ class bit_decoder {
   }
 
   /// Uniformly random combination of the basis (may be the zero vector).
-  /// Returns nullopt if nothing has been received yet.
-  std::optional<bitvec> random_combination(rng& r) const {
+  /// Returns nullopt if nothing has been received yet.  A non-null pool
+  /// supplies the output row's storage (identical contents either way).
+  std::optional<bitvec> random_combination(rng& r,
+                                           word_arena* pool = nullptr) const {
     if (rows_.empty()) return std::nullopt;
-    bitvec out(row_bits());
+    bitvec out = pool != nullptr ? pool->make(row_bits()) : bitvec(row_bits());
     for (const bitvec& row : rows_) {
       if (r.coin()) {
         out.xor_with(row);
@@ -93,9 +96,10 @@ class bit_decoder {
   /// probability `rho` instead of 1/2 (Firooz & Roy's density/delay
   /// trade-off; sparsenc's `density` knob).  Draws one RNG value per basis
   /// row, like random_combination, but from the Bernoulli stream.
-  std::optional<bitvec> sparse_combination(rng& r, double rho) const {
+  std::optional<bitvec> sparse_combination(rng& r, double rho,
+                                           word_arena* pool = nullptr) const {
     if (rows_.empty()) return std::nullopt;
-    bitvec out(row_bits());
+    bitvec out = pool != nullptr ? pool->make(row_bits()) : bitvec(row_bits());
     for (const bitvec& row : rows_) {
       if (r.bernoulli(rho)) {
         out.xor_with(row);

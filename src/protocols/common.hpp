@@ -2,6 +2,7 @@
 // knowledge_view adapter for adaptive adversaries, and result records.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,22 +33,19 @@ struct protocol_result {
 class token_state final : public knowledge_view {
  public:
   explicit token_state(const token_distribution& dist)
-      : dist_(&dist),
-        retired_(dist.k()),
-        known_count_(dist.n, 0),
-        remaining_count_(dist.n, 0) {
-    // Pre-reserve all per-node bitvec storage from dist.k() once, instead
-    // of copy-constructing a prototype per node (and instead of the old
-    // lazily-allocated retired_ mask, whose emptiness learn() had to probe
-    // on every call).
-    known_.reserve(dist.n);
-    remaining_.reserve(dist.n);
+      : dist_(&dist), known_count_(dist.n, 0), remaining_count_(dist.n, 0) {
+    // The counters — the whole knowledge_view surface — are eager and
+    // O(n).  The O(n*k) per-node masks materialize on the first call that
+    // actually reads or writes a mask (flood-agreement bookkeeping), so
+    // sessions whose protocol decodes inside its own rlnc_session view and
+    // never touches token membership allocate no masks at all.
+    std::vector<std::size_t> uniq;
     for (node_id u = 0; u < dist.n; ++u) {
-      known_.emplace_back(dist.k());
-      remaining_.emplace_back(dist.k());
-    }
-    for (node_id u = 0; u < dist.n; ++u) {
-      for (std::size_t t : dist.held_by_node[u]) learn(u, t);
+      uniq.assign(dist.held_by_node[u].begin(), dist.held_by_node[u].end());
+      std::sort(uniq.begin(), uniq.end());
+      uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+      known_count_[u] = uniq.size();
+      remaining_count_[u] = uniq.size();  // nothing is retired initially
     }
   }
 
@@ -58,10 +56,14 @@ class token_state final : public knowledge_view {
   std::size_t node_count() const override { return dist_->n; }
   std::size_t knowledge(node_id u) const override { return known_count_[u]; }
 
-  bool knows(node_id u, std::size_t t) const { return known_[u].get(t); }
+  bool knows(node_id u, std::size_t t) const {
+    ensure_materialized();
+    return known_[u].get(t);
+  }
   std::size_t known_count(node_id u) const { return known_count_[u]; }
 
   void learn(node_id u, std::size_t t) {
+    ensure_materialized();
     if (!known_[u].get(t)) {
       known_[u].set(t);
       ++known_count_[u];
@@ -80,15 +82,20 @@ class token_state final : public knowledge_view {
 
   // --- the "remove from consideration" bookkeeping of §7 ---
   bool in_consideration(node_id u, std::size_t t) const {
+    ensure_materialized();
     return remaining_[u].get(t);
   }
   std::size_t remaining_count(node_id u) const { return remaining_count_[u]; }
-  const bitvec& remaining_mask(node_id u) const { return remaining_[u]; }
+  const bitvec& remaining_mask(node_id u) const {
+    ensure_materialized();
+    return remaining_[u];
+  }
 
   /// Node u removes token t from its own consideration set (it may or may
   /// not know the token).  Global retirement is per-node because a node
   /// that missed a broadcast keeps the token in play (Las Vegas safety).
   void retire(node_id u, std::size_t t) {
+    ensure_materialized();
     if (remaining_[u].get(t)) {
       remaining_[u].set(t, false);
       --remaining_count_[u];
@@ -98,6 +105,7 @@ class token_state final : public knowledge_view {
   /// Marks t retired for all *future* learners too (call when every node
   /// confirmed decoding).
   void retire_everywhere(std::size_t t) {
+    ensure_materialized();
     retired_.set(t);
     for (node_id u = 0; u < dist_->n; ++u) retire(u, t);
   }
@@ -106,6 +114,7 @@ class token_state final : public knowledge_view {
   /// path: a missed coded broadcast vetoes the epoch's retirement, §7 /
   /// Las Vegas guarantee).
   void reinstate(node_id u, std::size_t t) {
+    ensure_materialized();
     NCDN_EXPECTS(knows(u, t));
     if (!remaining_[u].get(t)) {
       remaining_[u].set(t);
@@ -123,6 +132,7 @@ class token_state final : public knowledge_view {
 
   /// Number of nodes that know token t (the paper's c_i, Lemma 7.4).
   std::size_t knowers(std::size_t t) const {
+    ensure_materialized();
     std::size_t c = 0;
     for (node_id u = 0; u < dist_->n; ++u) {
       if (known_[u].get(t)) ++c;
@@ -131,10 +141,37 @@ class token_state final : public knowledge_view {
   }
 
  private:
+  /// Builds the per-node masks from the initial distribution.  Every
+  /// mutator materializes before touching anything, so at this point the
+  /// masks' state is exactly the construction-time state the eager
+  /// counters were computed from — asserted below.
+  void ensure_materialized() const {
+    if (materialized_) return;
+    materialized_ = true;
+    retired_ = bitvec(dist_->k());
+    known_.reserve(dist_->n);
+    remaining_.reserve(dist_->n);
+    for (node_id u = 0; u < dist_->n; ++u) {
+      known_.emplace_back(dist_->k());
+      remaining_.emplace_back(dist_->k());
+    }
+    for (node_id u = 0; u < dist_->n; ++u) {
+      for (std::size_t t : dist_->held_by_node[u]) {
+        known_[u].set(t);
+        remaining_[u].set(t);
+      }
+      NCDN_AUDIT(known_[u].popcount() == known_count_[u]);
+      NCDN_AUDIT(remaining_[u].popcount() == remaining_count_[u]);
+    }
+  }
+
   const token_distribution* dist_;
-  std::vector<bitvec> known_;      // node -> k-bit membership
-  std::vector<bitvec> remaining_;  // node -> known-or-not, still in play
-  bitvec retired_;                 // globally retired (sized k up front)
+  // Lazily materialized mask state (mutable: const readers like knows()
+  // may be the first mask touch).
+  mutable std::vector<bitvec> known_;      // node -> k-bit membership
+  mutable std::vector<bitvec> remaining_;  // known-or-not, still in play
+  mutable bitvec retired_;  // globally retired (sized k on materialize)
+  mutable bool materialized_ = false;
   std::vector<std::size_t> known_count_;
   std::vector<std::size_t> remaining_count_;
 };

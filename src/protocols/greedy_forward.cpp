@@ -90,6 +90,7 @@ round_task<protocol_result> greedy_forward_machine(
                                     static_cast<double>(n + k_cap))));
 
     rlnc_session session(n, k_items, budget.item_bits);
+    session.set_arena(net.arena());
     for (std::size_t i = 0; i < k_items; ++i) {
       bitvec block(budget.item_bits);
       for (std::size_t j = 0; j < budget.tokens_per_item; ++j) {

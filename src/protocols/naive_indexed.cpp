@@ -125,6 +125,7 @@ round_task<protocol_result> naive_indexed_machine(
           static_cast<std::size_t>(it - packed_of.begin()));
     }
     rlnc_session session(n, sel_tokens.size(), d);
+    session.set_arena(net.arena());
     for (std::size_t i = 0; i < sel_tokens.size(); ++i) {
       for (node_id u = 0; u < n; ++u) {
         if (st.knows(u, sel_tokens[i])) {

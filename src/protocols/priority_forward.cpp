@@ -219,6 +219,7 @@ round_task<priority_forward_result> priority_forward_machine(
     // 3. Network-coded indexed broadcast of the selected blocks.
     const std::size_t s = selected.size();
     rlnc_session session(n, s, block_bits);
+    session.set_arena(net.arena());
     for (std::size_t i = 0; i < s; ++i) {
       const node_id origin = std::get<1>(selected[i]);
       const std::uint32_t idx = std::get<2>(selected[i]);

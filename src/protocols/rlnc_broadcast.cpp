@@ -42,7 +42,7 @@ round_task<round_t> rlnc_session::run_stepped(network& net,
     net.step<coded_msg>(
         *this,
         [&](node_id u, rng& r) -> std::optional<coded_msg> {
-          auto combo = coders_[u]->make_combination(r);
+          auto combo = coders_[u]->make_combination(r, arena_);
           if (!combo) return std::nullopt;
           return coded_msg{std::move(*combo)};
         },

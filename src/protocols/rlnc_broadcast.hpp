@@ -27,6 +27,9 @@ namespace ncdn {
 struct coded_msg {
   bitvec row;
   std::size_t bit_size() const noexcept { return row.size(); }
+  /// Round-teardown hook (dynnet/network.hpp): returns the row's storage
+  /// to the session arena once every receiver has consumed its copy.
+  void recycle(word_arena& pool) { pool.recycle(std::move(row)); }
 };
 
 /// One indexed-broadcast instance over GF(2); per-node coders supplied by a
@@ -46,6 +49,11 @@ class rlnc_session final : public knowledge_view {
 
   /// Gives node u the original item `index` (inserts [e_index | payload]).
   void seed(node_id u, std::size_t index, const bitvec& payload);
+
+  /// Draws outgoing rows from `pool` (null = plain heap rows).  The draws
+  /// and the bytes on the wire are identical either way; only the row
+  /// storage is recycled round over round.
+  void set_arena(word_arena* pool) noexcept { arena_ = pool; }
 
   /// Runs up to `max_rounds` coding rounds; if stop_early, returns as soon
   /// as every node has full rank (observer-checked).  Returns rounds used.
@@ -96,6 +104,7 @@ class rlnc_session final : public knowledge_view {
   std::size_t item_bits_;
   std::unique_ptr<coding_backend> backend_;
   std::vector<std::unique_ptr<node_coder>> coders_;
+  word_arena* arena_ = nullptr;
 };
 
 /// Generic-field variant (field-size sweeps, §6 derandomization).  Payload

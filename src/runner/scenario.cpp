@@ -202,6 +202,50 @@ std::vector<scenario> build_registry() {
       // Full-tier spot checks at n32.
       {"rlnc-direct", "", {}, 32, 32, 0x1 | 0x4},
   };
+  // Scale cells (PR8): the nightly-xl tier exercises the representation
+  // stack — CSR bases, delta topologies, arena rows — at n = 4096.  The
+  // spread placement keeps k at 64 (one-per-node would make the coded rows
+  // n bits wide), and the adversaries are the sparse small-diameter
+  // families, so each cell completes in O(k + diameter) rounds instead of
+  // O(n) and the tier fits a wall-clock budget.
+  struct xl_row {
+    const char* alg;
+    param_map params;
+  };
+  const std::vector<xl_row> xl_rows = {
+      {"rlnc-direct", {}},
+      {"rlnc-gen", {{"gen_size", "16"}, {"band_overlap", "4"}}},
+      {"token-forwarding-pipelined", {}},
+  };
+  const std::vector<adv_cell> xl_axis = {
+      {"random-connected", "", {}},
+      {"t-interval-random", "", {{"t", "4"}}},
+  };
+  for (const xl_row& row : xl_rows) {
+    NCDN_ASSERT(protocol_registry::instance().find(row.alg) != nullptr);
+    for (const adv_cell& adv : xl_axis) {
+      NCDN_ASSERT(adversary_registry::instance().find(adv.name) != nullptr);
+      scenario s;
+      s.alg = row.alg;
+      s.adv = adv.name;
+      s.params = row.params;
+      for (const auto& [key, value] : adv.params) {
+        NCDN_ASSERT(s.params.count(key) == 0);
+        s.params[key] = value;
+      }
+      s.prob.n = 4096;
+      s.prob.k = 64;
+      s.prob.d = 8;
+      s.prob.b = 64;
+      s.prob.t_stability = 1;
+      s.prob.place = placement::random_spread;
+      s.tier = tier_for(s.prob.n);
+      s.name = std::string(row.alg) + "/" +
+               spec_segment(adv.name, adv.variant) + "/n4096";
+      out.push_back(std::move(s));
+    }
+  }
+
   for (const link_row& row : link_rows) {
     NCDN_ASSERT(protocol_registry::instance().find(row.alg) != nullptr);
     const std::string alg_segment = spec_segment(row.alg, row.variant);
@@ -235,7 +279,8 @@ std::vector<scenario> build_registry() {
 std::string tier_for(std::size_t n) {
   if (n <= 16) return "smoke";
   if (n <= 32) return "full";
-  return "nightly";
+  if (n <= 128) return "nightly";
+  return "nightly-xl";
 }
 
 const std::vector<scenario>& scenario_registry() {

@@ -326,7 +326,7 @@ namespace rn = ncdn::runner;
 TEST(scenario_matrix, tier_labels_cover_the_matrix) {
   const std::vector<rn::scenario>& all = rn::scenario_registry();
   EXPECT_GE(all.size(), 400u);  // the acceptance gate
-  std::size_t smoke = 0, full = 0, nightly = 0;
+  std::size_t smoke = 0, full = 0, nightly = 0, xl = 0;
   for (const rn::scenario& s : all) {
     EXPECT_EQ(s.tier, rn::tier_for(s.prob.n)) << s.name;
     if (s.tier == "smoke") {
@@ -336,7 +336,11 @@ TEST(scenario_matrix, tier_labels_cover_the_matrix) {
       ++full;
     } else if (s.tier == "nightly") {
       EXPECT_GT(s.prob.n, 32u) << s.name;
+      EXPECT_LE(s.prob.n, 128u) << s.name;
       ++nightly;
+    } else if (s.tier == "nightly-xl") {
+      EXPECT_GT(s.prob.n, 128u) << s.name;
+      ++xl;
     } else {
       FAIL() << s.name << " has unknown tier '" << s.tier << "'";
     }
@@ -344,9 +348,11 @@ TEST(scenario_matrix, tier_labels_cover_the_matrix) {
   EXPECT_GT(smoke, 0u);
   EXPECT_GT(full, 0u);
   EXPECT_GT(nightly, 0u);
+  EXPECT_GT(xl, 0u);
   EXPECT_EQ(rn::scenarios_in_tier("smoke").size(), smoke);
   EXPECT_EQ(rn::scenarios_in_tier("full").size(), full);
   EXPECT_EQ(rn::scenarios_in_tier("nightly").size(), nightly);
+  EXPECT_EQ(rn::scenarios_in_tier("nightly-xl").size(), xl);
 }
 
 TEST(scenario_matrix, new_families_and_size_tiers_are_represented) {

@@ -116,5 +116,118 @@ TEST(graph_normalize, dedupes_parallel_edges) {
   EXPECT_EQ(g.degree(0), 1u);
 }
 
+// --- CSR / bulk-storage mode (PR8 scale refactor) ---
+
+// from_edges must reproduce the adjacency ORDER the equivalent add_edge
+// sequence builds — the order network::step delivers inboxes in, so it is
+// behavior-relevant, not cosmetic.
+TEST(graph_csr, from_edges_matches_add_edge_order) {
+  const std::vector<std::pair<node_id, node_id>> edges = {
+      {0, 1}, {2, 3}, {1, 3}, {0, 4}, {4, 2}, {1, 4}};
+  graph dynamic(5);
+  for (const auto& [u, v] : edges) dynamic.add_edge(u, v);
+  const graph bulk = graph::from_edges(5, edges);
+  EXPECT_TRUE(bulk.compacted());
+  EXPECT_FALSE(dynamic.compacted());
+  EXPECT_EQ(bulk.edge_count(), dynamic.edge_count());
+  EXPECT_TRUE(bulk == dynamic);
+  for (node_id u = 0; u < 5; ++u) {
+    const auto a = dynamic.neighbors(u);
+    const auto b = bulk.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(graph_csr, compact_preserves_everything_and_freezes) {
+  rng r(9);
+  graph g = gen::random_connected(40, 25, r);
+  const graph before = g;  // dynamic-mode copy
+  g.compact();
+  EXPECT_TRUE(g.compacted());
+  EXPECT_TRUE(g == before);
+  EXPECT_EQ(g.edge_count(), before.edge_count());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), before.diameter());
+  g.compact();  // idempotent
+  EXPECT_TRUE(g == before);
+}
+
+// operator== is the delta-vs-rebuild oracle: it must reject same edge SET
+// in a different adjacency order, because inbox order depends on it.
+TEST(graph_csr, equality_is_order_sensitive) {
+  graph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(0, 2);
+  graph b(3);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(a == b);
+  graph c(3);
+  c.add_edge(0, 1);
+  c.add_edge(0, 2);
+  EXPECT_TRUE(a == c);
+  c.compact();
+  EXPECT_TRUE(a == c);  // storage mode is irrelevant to equality
+}
+
+// pop_edge_tail is the delta engine's undo: tail-append then tail-pop must
+// restore the exact pre-append neighbor sequences.
+TEST(graph_csr, pop_edge_tail_restores_order) {
+  rng r(10);
+  graph g = gen::random_connected(20, 12, r);
+  const graph before = g;
+  g.add_edge(3, 17);
+  g.add_edge(5, 9);
+  EXPECT_FALSE(g == before);
+  g.pop_edge_tail(5, 9);
+  g.pop_edge_tail(3, 17);
+  EXPECT_TRUE(g == before);
+  EXPECT_EQ(g.edge_count(), before.edge_count());
+}
+
+TEST(graph_csr, revision_advances_on_every_mutation) {
+  graph g(4);
+  const std::uint64_t r0 = g.revision();
+  g.add_edge(0, 1);
+  const std::uint64_t r1 = g.revision();
+  EXPECT_NE(r0, r1);
+  g.pop_edge_tail(0, 1);
+  EXPECT_NE(g.revision(), r1);
+  // Two fresh graphs never share a stamp (process-global counter) — this
+  // is what lets delta consumers detect a rebuilt-in-place base.
+  graph a(2), b(2);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_NE(a.revision(), b.revision());
+}
+
+// Scratch-reusing traversals must agree with the allocating ones and stop
+// growing their buffers once warmed (the zero-allocation round contract).
+TEST(graph_csr, scratch_bfs_matches_and_stops_growing) {
+  rng r(11);
+  bfs_scratch scratch;
+  for (int round = 0; round < 6; ++round) {
+    const graph g = gen::random_connected(64, 30, r);
+    EXPECT_EQ(g.is_connected(), g.is_connected(scratch));
+    const std::vector<node_id> srcs = {static_cast<node_id>(round)};
+    const auto want = g.bfs_distances(srcs);
+    g.bfs_distances(srcs, scratch);
+    ASSERT_EQ(scratch.dist.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(scratch.dist[i], want[i]);
+    }
+    EXPECT_TRUE(g.power(2) == g.power(2, scratch));
+  }
+  const std::size_t warmed = scratch.grows;
+  for (int round = 0; round < 6; ++round) {
+    const graph g = gen::random_connected(64, 30, r);
+    (void)g.is_connected(scratch);
+    const std::vector<node_id> srcs = {0};
+    g.bfs_distances(srcs, scratch);
+  }
+  EXPECT_EQ(scratch.grows, warmed);
+}
+
 }  // namespace
 }  // namespace ncdn

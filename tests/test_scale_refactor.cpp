@@ -1,0 +1,171 @@
+// Scale-refactor invariants (PR8): the delta-topology path must be
+// indistinguishable from a from-scratch rebuild for every registered
+// adversary family, and the arena/lazy-mask storage toggles must leave
+// sweep JSON byte-identical across thread and batch shapes — the
+// representation changes performance, never bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/session.hpp"
+#include "dynnet/adversary.hpp"
+#include "runner/sweep.hpp"
+
+namespace ncdn {
+namespace {
+
+// Adaptive families read node state through a knowledge_view; a hand-set
+// one drives both instances with identical inputs.
+class fake_view final : public knowledge_view {
+ public:
+  fake_view(std::size_t n, std::size_t k, round_t r) : k_(n) {
+    for (node_id u = 0; u < n; ++u) {
+      k_[u] = (static_cast<std::size_t>(u) * 7 + r * 3) % (k + 1);
+    }
+  }
+  std::size_t node_count() const override { return k_.size(); }
+  std::size_t knowledge(node_id u) const override { return k_[u]; }
+
+ private:
+  std::vector<std::size_t> k_;
+};
+
+// Params a family needs to instantiate at all (compose has no defaults for
+// its modifier/base selectors); everything else runs on its defaults.
+param_map family_params(const std::string& name) {
+  if (name == "compose") {
+    return {{"modifier", "edge-markov"}, {"base", "random-geometric"}};
+  }
+  return {};
+}
+
+std::string dump(const graph& g) {
+  std::string out;
+  for (node_id u = 0; u < g.order(); ++u) {
+    out.append(std::to_string(u));
+    out.push_back(':');
+    for (node_id v : g.neighbors(u)) {
+      out.push_back(' ');
+      out.append(std::to_string(v));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// The delta engine's acceptance oracle, run as a test instead of an audit
+// build: for every family x seed, an instance evolving through per-round
+// edge diffs must emit the exact graph sequence (same adjacency ORDER —
+// inbox order depends on it) as a twin forced to rebuild from scratch.
+TEST(scale_refactor, delta_matches_rebuild_for_every_family) {
+  problem prob;
+  prob.n = 24;
+  prob.k = 16;
+  prob.d = 8;
+  prob.b = 32;
+  for (const adversary_entry& entry :
+       adversary_registry::instance().entries()) {
+    const adversary_spec spec{entry.name, family_params(entry.name)};
+    for (std::uint64_t seed : {3u, 17u, 91u}) {
+      auto delta = build_adversary(prob, spec, seed);
+      auto rebuild = build_adversary(prob, spec, seed);
+      rebuild->set_rebuild_mode(true);
+      for (round_t r = 0; r < 48; ++r) {
+        const fake_view view(prob.n, prob.k, r);
+        const graph& a = delta->topology(r, view);
+        const graph& b = rebuild->topology(r, view);
+        EXPECT_TRUE(a == b) << entry.name << " seed " << seed << " round "
+                            << r << "\ndelta:\n"
+                            << dump(a) << "rebuild:\n"
+                            << dump(b);
+      }
+    }
+  }
+}
+
+// The T-stability wrapper composes with the delta path too.
+TEST(scale_refactor, delta_matches_rebuild_under_t_stability) {
+  problem prob;
+  prob.n = 24;
+  prob.k = 16;
+  prob.d = 8;
+  prob.b = 32;
+  prob.t_stability = 3;
+  for (const char* name : {"t-interval-random", "edge-markov", "churn"}) {
+    const adversary_spec spec{name, {}};
+    auto delta = build_adversary(prob, spec, 5);
+    auto rebuild = build_adversary(prob, spec, 5);
+    rebuild->set_rebuild_mode(true);
+    for (round_t r = 0; r < 36; ++r) {
+      const fake_view view(prob.n, prob.k, r);
+      EXPECT_TRUE(delta->topology(r, view) == rebuild->topology(r, view))
+          << name << " round " << r;
+    }
+  }
+}
+
+using runner::find_scenario;
+using runner::run_sweep;
+using runner::scenario;
+using runner::sweep_options;
+using runner::sweep_to_json;
+
+std::vector<scenario> storage_scenarios(const param_map& extra) {
+  std::vector<scenario> out;
+  for (const char* name :
+       {"rlnc-direct/random-connected/n16", "rlnc-gen/t-interval-random/n16",
+        "token-forwarding/static-path/n16",
+        "naive-indexed/static-star/n16"}) {
+    const scenario* s = find_scenario(name);
+    if (s == nullptr) continue;
+    scenario copy = *s;
+    for (const auto& [key, value] : extra) copy.params[key] = value;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::string cells_dump(const std::vector<scenario>& scens,
+                       const sweep_options& opts) {
+  const json::value doc = sweep_to_json(run_sweep(scens, opts));
+  const json::value* cells = doc.find("cells");
+  EXPECT_NE(cells, nullptr);
+  return cells == nullptr ? std::string{} : cells->dump();
+}
+
+// Arena-pooled rows and heap rows, delta and rebuilt topologies: four
+// storage configurations, every thread/batch shape — one byte stream.
+// (Comparing the cells subtree: the config echo records the param
+// overrides themselves, which differ by construction.)
+TEST(scale_refactor, storage_toggles_never_change_sweep_bytes) {
+  const std::vector<scenario> pooled = storage_scenarios({});
+  ASSERT_GE(pooled.size(), 3u);
+
+  sweep_options opts;
+  opts.trials = 2;
+  opts.base_seed = 9;
+  opts.threads = 1;
+  const std::string want = cells_dump(pooled, opts);
+
+  const std::vector<param_map> variants = {
+      {{"pool", "0"}},
+      {{"rebuild", "1"}},
+      {{"pool", "0"}, {"rebuild", "1"}},
+  };
+  for (const param_map& extra : variants) {
+    const std::vector<scenario> scens = storage_scenarios(extra);
+    for (const auto& [threads, batch] :
+         {std::pair<std::size_t, std::size_t>{1, 1}, {8, 1}, {1, 32},
+          {8, 32}}) {
+      opts.threads = threads;
+      opts.batch = batch;
+      EXPECT_EQ(want, cells_dump(scens, opts))
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncdn

@@ -22,10 +22,15 @@
 //   ncdn-run sweep [options]         parallel sweep, JSON results
 //     --match PATTERN   substring filter over scenario names (repeatable;
 //                       a scenario is swept if any pattern matches)
-//     --tier NAME       keep only cells in tier smoke|full|nightly
-//                       (applied after --match; the CI slice selector)
+//     --tier NAME       keep only cells in tier smoke|full|nightly|
+//                       nightly-xl (applied after --match; the CI slice
+//                       selector)
 //     --filter REGEX    ECMAScript regex filter over scenario names,
 //                       applied after --match/--tier (narrow CI slices)
+//     --param K=V       spec override applied to every swept cell,
+//                       repeatable (e.g. --param rebuild=1 --param pool=0
+//                       forces the rebuild/heap representation paths; CI
+//                       byte-compares those sweeps against the goldens)
 //     --seeds N         trials per scenario            (default 3)
 //     --base-seed S     root seed                      (default 1)
 //     --threads N       worker threads; 0 = hardware   (default 0)
@@ -47,6 +52,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "core/sysinfo.hpp"
 #include "runner/sweep.hpp"
 
 namespace {
@@ -64,7 +70,7 @@ int usage(const char* argv0) {
                "       %s run --alg NAME --topo NAME [--seed S] "
                "[--param K=V]... [--link SPEC] [--trace]\n"
                "       %s sweep [--match PATTERN]... [--tier NAME] "
-               "[--filter REGEX] "
+               "[--filter REGEX] [--param K=V]... "
                "[--seeds N] [--base-seed S] [--threads N] [--batch N] "
                "[--out PATH] [--pretty]\n",
                argv0, argv0, argv0, argv0, argv0);
@@ -156,6 +162,9 @@ void print_report(const std::string& label, const run_report& rep) {
                 static_cast<unsigned long long>(m.total_messages_dropped),
                 m.messages_in_flight);
   }
+  // Process-level footprint, not part of the run record (it depends on the
+  // machine, not the seed).
+  std::printf("peak_rss_bytes     %zu\n", peak_rss_bytes());
 }
 
 int cmd_run(int argc, char** argv) {
@@ -293,6 +302,7 @@ int cmd_sweep(int argc, char** argv) {
   bool have_filter = false;
   std::string out_path;
   bool pretty = false;
+  param_map extra_params;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -312,10 +322,11 @@ int cmd_sweep(int argc, char** argv) {
       const char* p = next("--tier");
       if (p == nullptr) return 2;
       tier = p;
-      if (tier != "smoke" && tier != "full" && tier != "nightly") {
+      if (tier != "smoke" && tier != "full" && tier != "nightly" &&
+          tier != "nightly-xl") {
         std::fprintf(stderr,
-                     "ncdn-run: --tier needs smoke, full, or nightly, "
-                     "got '%s'\n", p);
+                     "ncdn-run: --tier needs smoke, full, nightly, or "
+                     "nightly-xl, got '%s'\n", p);
         return 2;
       }
     } else if (arg == "--filter") {
@@ -323,6 +334,16 @@ int cmd_sweep(int argc, char** argv) {
       if (p == nullptr) return 2;
       filter = p;
       have_filter = true;
+    } else if (arg == "--param") {
+      const char* p = next("--param");
+      if (p == nullptr) return 2;
+      const char* eq = std::strchr(p, '=');
+      if (eq == nullptr || eq == p) {
+        std::fprintf(stderr, "ncdn-run: --param needs KEY=VALUE, got '%s'\n",
+                     p);
+        return 2;
+      }
+      extra_params[std::string(p, eq)] = std::string(eq + 1);
     } else if (arg == "--batch") {
       const char* p = next("--batch");
       if (p == nullptr) return 2;
@@ -410,6 +431,13 @@ int cmd_sweep(int argc, char** argv) {
     std::fprintf(stderr, "ncdn-run: no scenarios matched\n");
     return 2;
   }
+  // Uniform overrides: every swept cell gets them, on top of (and
+  // overriding) the cell's pinned params.  This is how CI drives the
+  // byte-identity-neutral toggles (rebuild=1, pool=0) across a whole
+  // sweep without touching the registry.
+  for (scenario& s : scens) {
+    for (const auto& [key, value] : extra_params) s.params[key] = value;
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const sweep_result result = run_sweep(std::move(scens), opts);
@@ -435,12 +463,14 @@ int cmd_sweep(int argc, char** argv) {
   for (const cell_result& c : result.cells) {
     if (!c.report.complete) ++incomplete;
   }
-  // Timing goes to stderr only; the JSON stays a pure function of the seed.
+  // Timing and footprint go to stderr only; the JSON stays a pure function
+  // of the seed.
   std::fprintf(stderr,
                "swept %zu scenario(s) x %zu seed(s) = %zu cell(s) on %zu "
-               "thread(s) in %.2fs (%zu incomplete)\n",
+               "thread(s) in %.2fs (%zu incomplete, peak_rss_bytes %zu)\n",
                result.scenarios.size(), result.options.trials,
-               result.cells.size(), result.options.threads, secs, incomplete);
+               result.cells.size(), result.options.threads, secs, incomplete,
+               peak_rss_bytes());
   return 0;
 }
 
