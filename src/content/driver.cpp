@@ -1,0 +1,251 @@
+#include "content/driver.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dynnet/adversary.hpp"
+#include "protocols/rlnc_broadcast.hpp"
+
+namespace ncdn {
+
+namespace {
+
+/// Whether node u's dependency on parent p (of version v) is discharged:
+/// directly (v supersedes p, or u holds p) or via the supersede chain
+/// (u holds some version that transitively replaced p).  `via_chain`
+/// reports the shortcut case for the metrics counter.
+bool parent_satisfied(const content_schedule& sched,
+                      const std::vector<char>& holds_u, std::size_t v,
+                      std::size_t p, bool* via_chain) {
+  *via_chain = false;
+  if (p == sched.patch(v).supersedes) return true;
+  for (std::size_t w = p; w != content_schedule::none;
+       w = sched.superseded_by(w)) {
+    if (holds_u[w] != 0) {
+      *via_chain = w != p;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The audit-tier dependency-closure invariant: no node holds a version
+/// whose parents it cannot discharge.
+bool closure_closed(const content_schedule& sched,
+                    const std::vector<std::vector<char>>& holds) {
+  for (const std::vector<char>& holds_u : holds) {
+    for (std::size_t v = 0; v < sched.versions(); ++v) {
+      if (holds_u[v] == 0) continue;
+      for (std::size_t p : sched.patch(v).parents) {
+        bool via = false;
+        if (!parent_satisfied(sched, holds_u, v, p, &via)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Applies every version whose payload has arrived and whose dependencies
+/// are discharged, to a fixpoint: a supersede shortcut can be unlocked by a
+/// later version applied in the same pass, so one ascending sweep is not
+/// enough.  Returns the number of dependencies discharged via the chain
+/// (shortcut hits) by the newly applied versions.
+std::size_t apply_closure(const content_schedule& sched,
+                          const std::vector<std::vector<char>>& received,
+                          std::vector<std::vector<char>>& holds) {
+  std::size_t shortcut_hits = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = 0; u < holds.size(); ++u) {
+      for (std::size_t v = 0; v < sched.versions(); ++v) {
+        if (holds[u][v] != 0 || received[u][v] == 0) continue;
+        bool ok = true;
+        std::size_t shortcuts = 0;
+        for (std::size_t p : sched.patch(v).parents) {
+          bool via = false;
+          if (!parent_satisfied(sched, holds[u], v, p, &via)) {
+            ok = false;
+            break;
+          }
+          if (via) ++shortcuts;
+        }
+        if (ok) {
+          holds[u][v] = 1;
+          shortcut_hits += shortcuts;
+          changed = true;
+        }
+      }
+    }
+  }
+  return shortcut_hits;
+}
+
+}  // namespace
+
+round_task<protocol_result> run_versioned_content(
+    session_env& env, std::shared_ptr<const content_schedule> schedule,
+    coded_backend_plan plan, const adversary* adv, content_metrics* out) {
+  const content_schedule& sched = *schedule;
+  const std::size_t n = env.prob.n;
+  const std::size_t versions = sched.versions();
+  NCDN_EXPECTS(out != nullptr);
+  NCDN_EXPECTS(sched.base_items() == env.dist.k());
+
+  // received = the version's payload has arrived (seeded or decoded);
+  // holds = received AND the dependency closure is discharged.  Both are
+  // monotone over the whole run — an epoch never revokes knowledge.
+  std::vector<std::vector<char>> received(n, std::vector<char>(versions, 0));
+  std::vector<std::vector<char>> holds(n, std::vector<char>(versions, 0));
+  std::vector<std::size_t> staleness(n, 0);
+  for (node_id u = 0; u < n; ++u) {
+    for (std::size_t t : env.dist.held_by_node[u]) {
+      received[u][t] = 1;
+      holds[u][t] = 1;  // base items have no parents
+    }
+  }
+
+  out->active = true;
+  out->resync_full = sched.full_resync();
+  out->epochs = sched.epochs();
+  out->versions = versions;
+  out->head_version = sched.head(sched.epochs() - 1);
+
+  protocol_result res;
+  res.epochs = sched.epochs();
+  bool all_epochs_complete = true;
+  round_t total_rounds = 0;
+
+  for (std::size_t e = 0; e < sched.epochs(); ++e) {
+    const std::vector<char>* mask = adv != nullptr ? adv->live_mask() : nullptr;
+    std::vector<char> live_at_start(n, 1);
+    if (mask != nullptr) live_at_start.assign(mask->begin(), mask->end());
+
+    // Fresh patches are born at their author; a down author hands the
+    // patch to the lowest live node (the paper's model has no offline
+    // authoring — churned-out nodes produce nothing).
+    for (std::size_t v = sched.epoch_begin(e); e > 0 && v < sched.epoch_end(e);
+         ++v) {
+      node_id author = sched.patch(v).author;
+      if (live_at_start[author] == 0) {
+        node_id fallback = 0;
+        while (fallback < n && live_at_start[fallback] == 0) ++fallback;
+        NCDN_ASSERT(fallback < n);  // churn adversaries keep min_live >= 2
+        author = fallback;
+      }
+      received[author][v] = 1;
+    }
+
+    // The delta set: this epoch's fresh patches, plus every target version
+    // some live node still misses (the rejoin backlog) — or the whole
+    // target closure under resync=full, the naive baseline.
+    const std::vector<std::size_t>& target = sched.target(e);
+    std::vector<char> in_delta(versions, 0);
+    for (std::size_t v = sched.epoch_begin(e); v < sched.epoch_end(e); ++v) {
+      in_delta[v] = 1;
+    }
+    for (std::size_t v : target) {
+      if (sched.full_resync()) {
+        in_delta[v] = 1;
+        continue;
+      }
+      for (node_id u = 0; u < n; ++u) {
+        if (live_at_start[u] != 0 && received[u][v] == 0) {
+          in_delta[v] = 1;
+          break;
+        }
+      }
+    }
+    std::vector<std::size_t> delta;
+    for (std::size_t v = 0; v < versions; ++v) {
+      if (in_delta[v] != 0) delta.push_back(v);
+    }
+    NCDN_ASSERT(!delta.empty());  // fresh patches are always re-seeded
+
+    const std::size_t fresh = sched.epoch_end(e) - sched.epoch_begin(e);
+    out->epoch_delta_items.push_back(delta.size());
+    out->epoch_target_items.push_back(target.size());
+    out->backlog_items += delta.size() - fresh;
+    out->full_resync_floor_bits +=
+        static_cast<std::uint64_t>(target.size()) *
+        static_cast<std::uint64_t>(target.size() + env.prob.d);
+
+    // A fresh coded-broadcast instance over just the delta versions, rows
+    // drawn from the session arena so storage recycles across epochs.
+    rlnc_session coding(n, delta.size(), env.prob.d, plan.make_backend());
+    coding.set_arena(env.arena);
+    for (node_id u = 0; u < n; ++u) {
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        const std::size_t v = delta[i];
+        if (received[u][v] == 0) continue;
+        coding.seed(u, i,
+                    v < sched.base_items() ? env.dist.tokens[v].payload
+                                           : sched.patch(v).payload);
+      }
+    }
+
+    const round_t cap = plan.cap(n, delta.size());
+    round_t used = 0;
+    bool epoch_complete = false;
+    while (used < cap) {
+      co_await coding.run_stepped(env.net, 1, /*stop_early=*/false);
+      ++used;
+      ++total_rounds;
+      for (node_id u = 0; u < n; ++u) {
+        for (std::size_t i = 0; i < delta.size(); ++i) {
+          if (received[u][delta[i]] == 0 && coding.can_decode(u, i)) {
+            received[u][delta[i]] = 1;
+          }
+        }
+      }
+      out->shortcut_hits += apply_closure(sched, received, holds);
+      NCDN_AUDIT(closure_closed(sched, holds));
+
+      // Completion asks only the nodes that could participate all epoch
+      // (live now and at the epoch start); a mid-epoch rejoiner catches up
+      // through the next epoch's backlog.  Staleness charges every node
+      // behind the head's closure, down nodes included.
+      const std::vector<char>* now =
+          adv != nullptr ? adv->live_mask() : nullptr;
+      bool done = true;
+      for (node_id u = 0; u < n; ++u) {
+        bool has_target = true;
+        for (std::size_t v : target) {
+          if (holds[u][v] == 0) {
+            has_target = false;
+            break;
+          }
+        }
+        if (!has_target) {
+          ++staleness[u];
+          if (live_at_start[u] != 0 && (now == nullptr || (*now)[u] != 0)) {
+            done = false;
+          }
+        }
+      }
+      if (done) {
+        epoch_complete = true;
+        break;
+      }
+    }
+    out->epoch_rounds.push_back(epoch_complete
+                                    ? static_cast<std::int64_t>(used)
+                                    : std::int64_t{-1});
+    if (!epoch_complete) all_epochs_complete = false;
+  }
+
+  std::vector<std::size_t> sorted = staleness;
+  std::sort(sorted.begin(), sorted.end());
+  out->staleness_p50 = sorted[(50 * (n - 1)) / 100];
+  out->staleness_p90 = sorted[(90 * (n - 1)) / 100];
+  out->staleness_max = sorted.back();
+
+  res.rounds = total_rounds;
+  res.complete = all_epochs_complete;
+  res.completion_round = all_epochs_complete ? total_rounds : 0;
+  res.max_message_bits = env.net.max_observed_message_bits();
+  co_return res;
+}
+
+}  // namespace ncdn

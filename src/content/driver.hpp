@@ -1,0 +1,27 @@
+// The versioned-content epoch driver: the session's protocol machine when a
+// content spec is active.  One coroutine spans every epoch of the schedule
+// (the first multi-epoch session lifecycle); each epoch re-seeds a fresh
+// coded-broadcast instance with only the delta versions still missing
+// somewhere, sharing the session's word_arena so row storage is recycled
+// across epoch boundaries, not just across rounds.
+#pragma once
+
+#include <memory>
+
+#include "content/content.hpp"
+#include "core/machine.hpp"
+#include "core/metrics.hpp"
+
+namespace ncdn {
+
+class adversary;  // dynnet/adversary.hpp
+
+/// Runs the full schedule over the session environment.  `adv` supplies the
+/// churn liveness mask (null-mask adversaries mean always-live nodes);
+/// `out` receives the per-epoch record as the run progresses so the session
+/// can fold it into its metrics at finish time.
+round_task<protocol_result> run_versioned_content(
+    session_env& env, std::shared_ptr<const content_schedule> schedule,
+    coded_backend_plan plan, const adversary* adv, content_metrics* out);
+
+}  // namespace ncdn

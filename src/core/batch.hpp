@@ -43,6 +43,10 @@ class session_batch {
   /// Same, with a per-edge channel (empty link = reliable default).
   std::size_t emplace(const problem& prob, protocol_spec proto,
                       adversary_spec adv, link_spec link, std::uint64_t seed);
+  /// Same, plus a versioned-content workload (empty content = one-shot).
+  std::size_t emplace(const problem& prob, protocol_spec proto,
+                      adversary_spec adv, link_spec link, content_spec content,
+                      std::uint64_t seed);
 
   std::size_t size() const noexcept { return sessions_.size(); }
   bool all_finished() const noexcept { return live_.empty(); }

@@ -69,6 +69,42 @@ struct round_metrics {
   }
 };
 
+/// What the versioned-content epoch driver (src/content) reports for a
+/// multi-epoch run.  Inactive (all zero / empty) unless the session was
+/// built with a content spec.
+struct content_metrics {
+  bool active = false;
+  bool resync_full = false;      // resync=full naive baseline
+  std::size_t epochs = 0;        // scheduled epochs, base epoch included
+  std::size_t versions = 0;      // total versions in the patch DAG
+  std::size_t head_version = 0;  // newest version after the final epoch
+
+  // Per-epoch records, indexed by epoch.  epoch_rounds is -1 when the
+  // epoch hit its Las-Vegas cap before every live node held the target.
+  std::vector<std::int64_t> epoch_rounds;
+  std::vector<std::size_t> epoch_delta_items;   // versions re-seeded
+  std::vector<std::size_t> epoch_target_items;  // closure size required
+
+  // Bytes-on-wire accounting: what this run actually spent versus the
+  // analytic floor of naive full re-dissemination (every epoch restarts a
+  // broadcast of the whole target closure; floor = per-epoch
+  // target * (target + d) message bits — the minimum rows a fresh full
+  // broadcast must put on the air).
+  std::uint64_t wire_bits = 0;
+  std::uint64_t full_resync_floor_bits = 0;
+
+  std::size_t backlog_items = 0;   // delta items beyond the epoch's fresh
+                                   // patches (catch-up re-dissemination)
+  std::size_t shortcut_hits = 0;   // dependencies discharged via a
+                                   // superseding version instead of the
+                                   // original parent
+  // Staleness: per-node rounds spent behind the current head's closure,
+  // totalled over the run; percentiles over nodes.
+  std::size_t staleness_p50 = 0;
+  std::size_t staleness_p90 = 0;
+  std::size_t staleness_max = 0;
+};
+
 /// What the session's built-in observer accumulates over a whole run.
 struct session_metrics {
   round_t rounds = 0;                    // rounds observed
@@ -92,6 +128,9 @@ struct session_metrics {
   std::uint64_t total_messages_dropped = 0;
   std::size_t messages_in_flight = 0;  // still queued when the run ended
   std::vector<std::size_t> delivery_latency;  // cumulative histogram
+
+  // Versioned-content aggregates (content.active false for one-shot runs).
+  content_metrics content;
 };
 
 }  // namespace ncdn

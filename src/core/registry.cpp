@@ -225,19 +225,18 @@ std::unique_ptr<protocol_machine> priority_factory(const problem& prob,
 // rlnc-sparse / rlnc-gen): global indexing granted, every node seeds its
 // initial tokens, everyone broadcasts backend-drawn combinations until all
 // nodes decode (or the Las-Vegas cap trips).
-round_task<protocol_result> coded_broadcast_run(
-    session_env& env, std::function<std::unique_ptr<coding_backend>()> backend,
-    std::function<round_t(std::size_t n, std::size_t k)> cap) {
+round_task<protocol_result> coded_broadcast_run(session_env& env,
+                                                coded_backend_plan plan) {
   const token_distribution& dist = env.dist;
   NCDN_EXPECTS(2 * env.prob.b >= dist.k() + env.prob.d);
-  rlnc_session coding(env.prob.n, dist.k(), env.prob.d, backend());
+  rlnc_session coding(env.prob.n, dist.k(), env.prob.d, plan.make_backend());
   coding.set_arena(env.arena);
   for (node_id u = 0; u < env.prob.n; ++u) {
     for (std::size_t t : dist.held_by_node[u]) {
       coding.seed(u, t, dist.tokens[t].payload);
     }
   }
-  const round_t rounds_cap = cap(env.prob.n, dist.k());
+  const round_t rounds_cap = plan.cap(env.prob.n, dist.k());
   const round_t used =
       co_await coding.run_stepped(env.net, rounds_cap, /*stop_early=*/true);
   protocol_result res;
@@ -270,9 +269,7 @@ std::function<std::unique_ptr<coding_backend>()> maybe_buffered(
 }
 
 std::unique_ptr<protocol_machine> coded_broadcast_factory(
-    const problem& prob, const char* name,
-    std::function<std::unique_ptr<coding_backend>()> backend,
-    std::function<round_t(std::size_t n, std::size_t k)> cap) {
+    const problem& prob, const char* name, coded_backend_plan plan) {
   // Messages cost k + d bits, so b must be at least (k + d) / 2 to fit the
   // network's O(b) budget.
   if (2 * prob.b < prob.k + prob.d) {
@@ -280,10 +277,74 @@ std::unique_ptr<protocol_machine> coded_broadcast_factory(
                                 " needs b >= (k + d) / 2 (k+d-bit coded "
                                 "messages must fit the O(b) budget)");
   }
-  return make_protocol_machine([backend = std::move(backend),
-                                cap = std::move(cap)](session_env& env) {
-    return coded_broadcast_run(env, backend, cap);
+  return make_protocol_machine([plan = std::move(plan)](session_env& env) {
+    return coded_broadcast_run(env, plan);
   });
+}
+
+// The rlnc-* param surfaces, factored as plans so the one registration
+// serves both the standalone broadcast (`make`) and the per-epoch
+// re-instantiation of the versioned-content driver (`coded_plan`).  The
+// read order matches the historical entries exactly.
+coded_backend_plan rlnc_direct_plan(const problem&, param_reader& params) {
+  const double cap_factor = params.real("cap_factor", 16.0);
+  coded_backend_plan plan;
+  plan.make_backend = maybe_buffered(params, "rlnc-direct",
+                                     [] { return make_dense_backend(); });
+  // Whp bound is O(n + k); the cap only guards the 2^-n tail.
+  plan.cap = [cap_factor](std::size_t n, std::size_t k) {
+    return static_cast<round_t>(cap_factor * static_cast<double>(n + k)) + 64;
+  };
+  return plan;
+}
+
+coded_backend_plan rlnc_sparse_plan(const problem&, param_reader& params) {
+  const double rho = params.real("rho", 0.2);
+  if (!(rho > 0.0 && rho <= 1.0)) {
+    throw std::invalid_argument("ncdn: rlnc-sparse needs rho in (0, 1]");
+  }
+  const double cap_factor = params.real("cap_factor", 16.0);
+  // Per-round mixing slows by roughly rho / (1/2); widen the Las-Vegas cap
+  // accordingly so small densities still finish.
+  const double stretch = std::max(1.0, 0.5 / rho);
+  coded_backend_plan plan;
+  plan.make_backend = maybe_buffered(
+      params, "rlnc-sparse", [rho] { return make_sparse_backend(rho); });
+  plan.cap = [cap_factor, stretch](std::size_t n, std::size_t k) {
+    return static_cast<round_t>(cap_factor * stretch *
+                                static_cast<double>(n + k)) +
+           64;
+  };
+  return plan;
+}
+
+coded_backend_plan rlnc_gen_plan(const problem&, param_reader& params) {
+  const std::size_t gen_size = params.size("gen_size", 16);
+  if (gen_size < 1) {
+    throw std::invalid_argument("ncdn: rlnc-gen needs gen_size >= 1");
+  }
+  const std::size_t overlap =
+      params.size("band_overlap", std::min<std::size_t>(4, gen_size));
+  if (overlap > gen_size) {
+    throw std::invalid_argument("ncdn: rlnc-gen needs band_overlap <= "
+                                "gen_size");
+  }
+  const double cap_factor = params.real("cap_factor", 16.0);
+  coded_backend_plan plan;
+  plan.make_backend =
+      maybe_buffered(params, "rlnc-gen", [gen_size, overlap] {
+        return make_generation_backend(gen_size, overlap);
+      });
+  plan.cap = [cap_factor, gen_size, overlap](std::size_t n, std::size_t k) {
+    // Bandwidth splits across G generations; each needs its own
+    // O(n + g + w) broadcast worth of rounds.
+    const std::size_t gens = (k + gen_size - 1) / gen_size;
+    return static_cast<round_t>(
+               cap_factor *
+               static_cast<double>(gens * (n + gen_size + overlap) + k)) +
+           64;
+  };
+  return plan;
 }
 
 std::unique_ptr<protocol_machine> tstable_factory(const problem& prob,
@@ -414,87 +475,32 @@ void register_builtin_protocols(protocol_registry& reg) {
            "Lemma 5.3 indexed broadcast standalone (indexing granted)",
            algorithm::rlnc_direct,
            [](const problem& prob, param_reader& params) {
-             const double cap_factor = params.real("cap_factor", 16.0);
-             // Whp bound is O(n + k); the cap only guards the 2^-n tail.
-             return coded_broadcast_factory(
-                 prob, "rlnc-direct",
-                 maybe_buffered(params, "rlnc-direct",
-                                [] { return make_dense_backend(); }),
-                 [cap_factor](std::size_t n, std::size_t k) {
-                   return static_cast<round_t>(
-                              cap_factor * static_cast<double>(n + k)) +
-                          64;
-                 });
+             return coded_broadcast_factory(prob, "rlnc-direct",
+                                            rlnc_direct_plan(prob, params));
            },
            /*needs_full_connectivity=*/false,
-           /*loss_tolerant=*/true});
+           /*loss_tolerant=*/true, rlnc_direct_plan});
   // Registry-only backends (no legacy enum): the density/delay trade-offs
   // of practical RLNC (sparsenc; Firooz & Roy; Costa et al.).
   reg.add({"rlnc-sparse",
            "indexed broadcast, sparse combinations (Bernoulli rho) [rho]",
            std::nullopt,
            [](const problem& prob, param_reader& params) {
-             const double rho = params.real("rho", 0.2);
-             if (!(rho > 0.0 && rho <= 1.0)) {
-               throw std::invalid_argument(
-                   "ncdn: rlnc-sparse needs rho in (0, 1]");
-             }
-             const double cap_factor = params.real("cap_factor", 16.0);
-             // Per-round mixing slows by roughly rho / (1/2); widen the
-             // Las-Vegas cap accordingly so small densities still finish.
-             const double stretch = std::max(1.0, 0.5 / rho);
-             return coded_broadcast_factory(
-                 prob, "rlnc-sparse",
-                 maybe_buffered(params, "rlnc-sparse",
-                                [rho] { return make_sparse_backend(rho); }),
-                 [cap_factor, stretch](std::size_t n, std::size_t k) {
-                   return static_cast<round_t>(
-                              cap_factor * stretch *
-                              static_cast<double>(n + k)) +
-                          64;
-                 });
+             return coded_broadcast_factory(prob, "rlnc-sparse",
+                                            rlnc_sparse_plan(prob, params));
            },
            /*needs_full_connectivity=*/false,
-           /*loss_tolerant=*/true});
+           /*loss_tolerant=*/true, rlnc_sparse_plan});
   reg.add({"rlnc-gen",
            "indexed broadcast, generation/band coding [gen_size, "
            "band_overlap]",
            std::nullopt,
            [](const problem& prob, param_reader& params) {
-             const std::size_t gen_size = params.size("gen_size", 16);
-             if (gen_size < 1) {
-               throw std::invalid_argument(
-                   "ncdn: rlnc-gen needs gen_size >= 1");
-             }
-             const std::size_t overlap =
-                 params.size("band_overlap",
-                             std::min<std::size_t>(4, gen_size));
-             if (overlap > gen_size) {
-               throw std::invalid_argument(
-                   "ncdn: rlnc-gen needs band_overlap <= gen_size");
-             }
-             const double cap_factor = params.real("cap_factor", 16.0);
-             return coded_broadcast_factory(
-                 prob, "rlnc-gen",
-                 maybe_buffered(params, "rlnc-gen",
-                                [gen_size, overlap] {
-                                  return make_generation_backend(gen_size,
-                                                                 overlap);
-                                }),
-                 [cap_factor, gen_size, overlap](std::size_t n,
-                                                 std::size_t k) {
-                   // Bandwidth splits across G generations; each needs its
-                   // own O(n + g + w) broadcast worth of rounds.
-                   const std::size_t gens = (k + gen_size - 1) / gen_size;
-                   return static_cast<round_t>(
-                              cap_factor *
-                              static_cast<double>(
-                                  gens * (n + gen_size + overlap) + k)) +
-                          64;
-                 });
+             return coded_broadcast_factory(prob, "rlnc-gen",
+                                            rlnc_gen_plan(prob, params));
            },
            /*needs_full_connectivity=*/false,
-           /*loss_tolerant=*/true});
+           /*loss_tolerant=*/true, rlnc_gen_plan});
 }
 
 // --- built-in adversaries ---------------------------------------------------
@@ -764,6 +770,33 @@ std::unique_ptr<protocol_machine> build_protocol(const problem& prob,
     params.expect_fully_consumed();
   }
   return machine;
+}
+
+coded_backend_plan build_coded_plan(const problem& prob,
+                                    const protocol_spec& spec,
+                                    param_audit* audit) {
+  const protocol_entry* entry = protocol_registry::instance().find(spec.name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ncdn: unknown protocol '" + spec.name +
+                                "' (see list-algorithms)");
+  }
+  if (!entry->coded_plan) {
+    throw std::invalid_argument(
+        "ncdn: protocol '" + spec.name +
+        "' cannot drive a versioned-content workload; the epoch driver "
+        "re-seeds a coding backend per delta set, so pick a coded-broadcast "
+        "protocol (rlnc-direct, rlnc-sparse, rlnc-gen)");
+  }
+  param_reader params(spec.params, "protocol '" + spec.name + "'");
+  const problem effective = apply_problem_params(prob, params);
+  coded_backend_plan plan = entry->coded_plan(effective, params);
+  if (audit != nullptr) {
+    audit->unconsumed = params.unconsumed();
+    audit->recognized = params.recognized();
+  } else {
+    params.expect_fully_consumed();
+  }
+  return plan;
 }
 
 std::unique_ptr<adversary> build_adversary(const problem& prob,

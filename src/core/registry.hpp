@@ -114,6 +114,18 @@ class param_reader {
 // session_env, protocol_machine, make_protocol_machine, and the deprecated
 // loop-style make_protocol_driver shim live in core/machine.hpp.
 
+class coding_backend;  // coding/backend.hpp
+
+/// How a coded-broadcast entry instantiates its coding: a backend factory
+/// plus the Las-Vegas round cap for a (nodes, items) instance.  The rlnc-*
+/// registrations are built from a plan, and the versioned-content epoch
+/// driver (src/content) re-invokes the same plan once per epoch so every
+/// delta set is coded exactly like a standalone broadcast of that size.
+struct coded_backend_plan {
+  std::function<std::unique_ptr<coding_backend>()> make_backend;
+  std::function<round_t(std::size_t n, std::size_t items)> cap;
+};
+
 struct protocol_entry {
   std::string name;     // e.g. "greedy-forward", "tstable/patch"
   std::string summary;  // one line for `ncdn-run list-algorithms`
@@ -132,6 +144,12 @@ struct protocol_entry {
   // assert symmetric receipt (min-flood agreement) must keep this false;
   // the session rejects pairing them with a non-empty link spec.
   bool loss_tolerant = false;
+  // Non-null only for the coded-broadcast family (rlnc-direct/sparse/gen):
+  // the backend+cap plan the versioned-content epoch driver re-instantiates
+  // per delta set.  The plan reads the same spec params as `make`, so a
+  // content session recognizes exactly the vocabulary the protocol does.
+  std::function<coded_backend_plan(const problem&, param_reader&)> coded_plan =
+      {};
 };
 
 struct adversary_entry {
@@ -200,6 +218,13 @@ std::string join_keys(const std::vector<std::string>& keys);
 std::unique_ptr<protocol_machine> build_protocol(const problem& prob,
                                                  const protocol_spec& spec,
                                                  param_audit* audit = nullptr);
+/// The coded-backend plan of a protocol spec, for the versioned-content
+/// epoch driver.  Throws std::invalid_argument when the protocol has no
+/// plan (only the rlnc-* family codes arbitrary delta sets) or on unknown
+/// names/params, with the same audit contract as build_protocol.
+coded_backend_plan build_coded_plan(const problem& prob,
+                                    const protocol_spec& spec,
+                                    param_audit* audit = nullptr);
 std::unique_ptr<adversary> build_adversary(const problem& prob,
                                            const adversary_spec& spec,
                                            std::uint64_t seed,

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "content/driver.hpp"
 #include "core/bits.hpp"
 
 namespace ncdn {
@@ -22,9 +23,15 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
 
 session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
                  link_spec link, std::uint64_t seed)
+    : session(prob, std::move(proto), std::move(adv), std::move(link),
+              content_spec{}, seed) {}
+
+session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
+                 link_spec link, content_spec content, std::uint64_t seed)
     : proto_spec_(std::move(proto)),
       adv_spec_(std::move(adv)),
       link_spec_(std::move(link)),
+      content_spec_(std::move(content)),
       seed_(seed) {
   // Problem-level overrides may ride in either spec's param_map (the CLI
   // hands both the same map); factory-level keys are consumed later by
@@ -144,7 +151,24 @@ session::session(const problem& prob, protocol_spec proto, adversary_spec adv,
         build_link_model(link_spec_, seed_ * 15485863 + 17));
   }
   state_ = std::make_unique<token_state>(dist_);
-  machine_ = build_protocol(prob_, proto_spec_, &proto_audit);
+  if (!content_spec_.empty()) {
+    // The versioned-content workload: its own seed stream (distinct prime
+    // multiplier, same scheme as dist / adversary / network / link), then
+    // the multi-epoch driver in place of the one-shot protocol run.  The
+    // plan factory consumes the protocol spec's params exactly like
+    // build_protocol would, so the audit contract below is unchanged.
+    schedule_ =
+        build_content_schedule(content_spec_, prob_, seed_ * 32452843 + 19);
+    coded_backend_plan plan =
+        build_coded_plan(prob_, proto_spec_, &proto_audit);
+    machine_ = make_protocol_machine(
+        [this, plan = std::move(plan)](session_env& env) {
+          return run_versioned_content(env, schedule_, plan, adv_.get(),
+                                       &content_);
+        });
+  } else {
+    machine_ = build_protocol(prob_, proto_spec_, &proto_audit);
+  }
 
   // The CLI hands both specs the same --param map, so a key is fine as
   // long as *one* side consumed it ("radius" belongs to the adversary,
@@ -337,6 +361,13 @@ void session::finish(protocol_result res) {
     retired += state_->known_count(u) - state_->remaining_count(u);
   }
   metrics_.final_tokens_retired = retired;
+
+  if (content_.active) {
+    // Bytes-on-wire is the session's own traffic aggregate; everything
+    // else in the block was accumulated by the epoch driver.
+    metrics_.content = content_;
+    metrics_.content.wire_bits = metrics_.total_message_bits;
+  }
 
   NCDN_AUDIT(audit_final_consistency());
   report_.metrics = metrics_;

@@ -27,6 +27,7 @@
 
 #include <optional>
 
+#include "content/content.hpp"
 #include "core/arena.hpp"
 #include "core/registry.hpp"
 #include "linkmodel/linkmodel.hpp"
@@ -50,6 +51,14 @@ class session {
   /// mid-run).
   session(const problem& prob, protocol_spec proto, adversary_spec adv,
           link_spec link, std::uint64_t seed);
+  /// Same, plus a versioned-content workload (src/content).  A non-empty
+  /// content spec swaps the one-shot protocol run for the multi-epoch
+  /// patch-dissemination driver, which re-seeds the protocol's coding
+  /// backend per epoch — so the protocol must expose a coded-backend plan
+  /// (the rlnc-* family); anything else is rejected with
+  /// std::invalid_argument.
+  session(const problem& prob, protocol_spec proto, adversary_spec adv,
+          link_spec link, content_spec content, std::uint64_t seed);
   ~session() = default;
 
   session(const session&) = delete;
@@ -84,6 +93,11 @@ class session {
   const session_metrics& metrics() const noexcept { return metrics_; }
 
   round_t rounds_elapsed() const noexcept { return net_->rounds_elapsed(); }
+  /// The session row pool (always constructed; unused when `pool=0`).
+  /// Exposed so tests can assert cross-epoch row recycling.
+  const word_arena& arena() const noexcept { return arena_; }
+  /// The expanded content schedule, or null for one-shot sessions.
+  const content_schedule* schedule() const noexcept { return schedule_.get(); }
   const problem& prob() const noexcept { return prob_; }
   const token_distribution& distribution() const noexcept { return dist_; }
   const token_state& state() const noexcept { return *state_; }
@@ -106,6 +120,7 @@ class session {
   protocol_spec proto_spec_;
   adversary_spec adv_spec_;
   link_spec link_spec_;
+  content_spec content_spec_;
   std::uint64_t seed_ = 0;
 
   // Session-level representation toggles, consumed from either spec's
@@ -118,6 +133,11 @@ class session {
   word_arena arena_;  // round-scoped row pool (see core/arena.hpp)
 
   token_distribution dist_;
+  // Versioned-content state (null / inactive for one-shot sessions).  The
+  // driver coroutine writes the per-epoch record into content_ as it runs;
+  // finish() folds it into metrics_.
+  std::shared_ptr<const content_schedule> schedule_;
+  content_metrics content_;
   std::unique_ptr<adversary> adv_;
   std::unique_ptr<network> net_;
   std::unique_ptr<token_state> state_;

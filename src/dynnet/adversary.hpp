@@ -88,6 +88,13 @@ class adversary {
   /// equivalence tests and the `rebuild=1` spec param can prove it, not to
   /// change behavior.  Families without a delta path ignore it.
   virtual void set_rebuild_mode(bool) {}
+
+  /// Per-node liveness on the most recently committed round (1 = live), or
+  /// nullptr when every node is always live.  Only the churn family
+  /// maintains a mask; wrappers forward to their inner adversary.  The
+  /// versioned-content epoch driver reads this to scope per-epoch
+  /// completion to the nodes that can actually receive.
+  virtual const std::vector<char>* live_mask() const { return nullptr; }
 };
 
 /// Fixed topology every round (the static-network degenerate case).  The
@@ -134,6 +141,9 @@ class t_stable_adversary final : public adversary {
   }
   void set_rebuild_mode(bool rebuild) override {
     inner_->set_rebuild_mode(rebuild);
+  }
+  const std::vector<char>* live_mask() const override {
+    return inner_->live_mask();
   }
   round_t stability() const noexcept { return t_; }
 
@@ -262,6 +272,7 @@ class churn_adversary final : public adversary {
 
   /// Liveness of every node on the most recent round (1 = live).
   const std::vector<char>& live() const noexcept { return live_; }
+  const std::vector<char>* live_mask() const override { return &live_; }
   std::size_t live_count() const noexcept { return live_count_; }
   std::size_t min_live() const noexcept { return min_live_; }
 

@@ -271,6 +271,81 @@ std::vector<scenario> build_registry() {
       out.push_back(std::move(s));
     }
   }
+
+  // Versioned-content cells (PR9): the content axis (src/content) crossed
+  // with the coded-broadcast rows that can drive it.  Names insert a
+  // "content:" segment, mirroring the link axis, so sweeps and CI select
+  // or exclude the multi-epoch workload with one substring.
+  struct content_cell {
+    const char* name;
+    const char* variant;  // "" = registry defaults
+    param_map params;
+  };
+  // Five workload variants: the uniform patch flow, a supersede-heavy
+  // grid point, the resync=full naive baseline (what BENCH_E21 beats),
+  // the release-burst cadence, and the pure supersede chain that
+  // exercises the rejoin shortcut.
+  const std::vector<content_cell> content_axis = {
+      {"steady", "", {}},
+      {"steady", "supersede=0.6", {{"supersede", "0.6"}}},
+      {"steady", "full", {{"resync", "full"}}},
+      {"burst", "", {}},
+      {"rolling", "", {}},
+  };
+  struct content_row {
+    const char* alg;
+    param_map params;
+    const char* adv;
+    const char* adv_variant;
+    param_map adv_params;
+    std::size_t n;
+    std::size_t b;
+    std::size_t contents = ~std::size_t{0};  // bitmask into content_axis
+  };
+  const std::vector<content_row> content_rows = {
+      {"rlnc-direct", {}, "permuted-path", "", {}, 16, 32},
+      // Under churn, rejoining nodes must catch up through the backlog or
+      // a supersede shortcut — the workload's reason to exist.
+      {"rlnc-direct", {}, "churn", "",
+       {{"rate", "0.1"}, {"max_down", "4"}}, 16, 32},
+      {"rlnc-sparse", {{"rho", "0.2"}}, "permuted-path", "", {}, 16, 32},
+      {"rlnc-gen", {{"gen_size", "8"}, {"band_overlap", "2"}},
+       "permuted-path", "", {}, 16, 32},
+      // Full-tier spot checks at n32 (steady only).
+      {"rlnc-direct", {}, "permuted-path", "", {}, 32, 48, 0x1},
+      {"rlnc-direct", {}, "churn", "",
+       {{"rate", "0.1"}, {"max_down", "4"}}, 32, 48, 0x1},
+  };
+  for (const content_row& row : content_rows) {
+    NCDN_ASSERT(protocol_registry::instance().find(row.alg) != nullptr);
+    NCDN_ASSERT(adversary_registry::instance().find(row.adv) != nullptr);
+    for (std::size_t ci = 0; ci < content_axis.size(); ++ci) {
+      if ((row.contents & (std::size_t{1} << ci)) == 0) continue;
+      const content_cell& cc = content_axis[ci];
+      scenario s;
+      s.alg = row.alg;
+      s.adv = row.adv;
+      s.content = cc.name;
+      s.params = row.params;
+      for (const auto& [key, value] : row.adv_params) {
+        NCDN_ASSERT(s.params.count(key) == 0);
+        s.params[key] = value;
+      }
+      s.content_params = cc.params;
+      s.prob.n = row.n;
+      s.prob.k = row.n;
+      s.prob.d = 8;
+      s.prob.b = row.b;
+      s.prob.t_stability = 1;
+      s.prob.place = placement::one_per_node;
+      s.tier = tier_for(row.n);
+      s.name = std::string(row.alg) + "/" +
+               spec_segment(row.adv, row.adv_variant) + "/content:" +
+               spec_segment(cc.name, cc.variant) + "/n" +
+               std::to_string(row.n);
+      out.push_back(std::move(s));
+    }
+  }
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "content/content.hpp"
 #include "core/registry.hpp"
 #include "linkmodel/linkmodel.hpp"
 
@@ -38,15 +39,18 @@ struct scenario {
                      // before the size suffix)
   std::string alg;   // protocol registry name
   std::string adv;   // adversary registry name
-  std::string link;  // link registry name ("" = reliable default)
-  std::string tier;  // "smoke" | "full" | "nightly"
+  std::string link;     // link registry name ("" = reliable default)
+  std::string content;  // content registry name ("" = one-shot run)
+  std::string tier;     // "smoke" | "full" | "nightly"
   param_map params;  // spec overrides (protocol + adversary variant params)
-  param_map link_params;  // channel params (separate vocabulary)
+  param_map link_params;     // channel params (separate vocabulary)
+  param_map content_params;  // content params (separate vocabulary)
   problem prob;
 
   protocol_spec protocol() const { return {alg, params}; }
   adversary_spec adversary() const { return {adv, params}; }
   link_spec linkspec() const { return {link, link_params}; }
+  content_spec contentspec() const { return {content, content_params}; }
 };
 
 /// The tier label a cell of `n` nodes lands in: n <= 16 "smoke",

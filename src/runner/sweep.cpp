@@ -87,7 +87,7 @@ sweep_result run_sweep(std::vector<scenario> scenarios,
         const scenario& scen = result.scenarios[cell.scenario_index];
         try {
           batch.emplace(scen.prob, scen.protocol(), scen.adversary(),
-                        scen.linkspec(), cell.seed);
+                        scen.linkspec(), scen.contentspec(), cell.seed);
           cell_of.push_back(i);
         } catch (const std::exception& err) {
           cell_errors[i] = err.what();
@@ -172,6 +172,15 @@ json::value sweep_to_json(const sweep_result& result) {
       }
       json::put(c, "link", spec);
     }
+    // v2 addendum (PR9): the content spec, present only on versioned-
+    // content cells so every earlier matrix's bytes are untouched.
+    if (!scen.content.empty()) {
+      std::string spec = scen.content;
+      for (const auto& [key, val] : scen.content_params) {
+        spec += "," + key + "=" + val;
+      }
+      json::put(c, "content", spec);
+    }
     // v2 addendum (PR5): the CI tier the cell belongs to ("smoke" gates
     // PRs, "full"/"nightly" run on the schedule).
     json::put(c, "tier", scen.tier);
@@ -233,6 +242,44 @@ json::value sweep_to_json(const sweep_result& result) {
       }
       json::put(lm, "delivery_latency", json::value{std::move(lat)});
       json::put(mo, "link", json::value{std::move(lm)});
+    }
+    // v2 addendum (PR9): versioned-content accounting, present only when
+    // the epoch driver ran.  wire_bits vs full_resync_floor_bits is the
+    // diff-vs-naive-re-dissemination comparison; epoch_rounds carries -1
+    // for an epoch that capped out before its closure completed.
+    if (m.content.active) {
+      const content_metrics& cm = m.content;
+      json::object co;
+      json::put(co, "resync", cm.resync_full ? "full" : "delta");
+      json::put(co, "epochs", cm.epochs);
+      json::put(co, "versions", cm.versions);
+      json::put(co, "head_version", cm.head_version);
+      json::array er;
+      er.reserve(cm.epoch_rounds.size());
+      for (std::int64_t r : cm.epoch_rounds) {
+        er.push_back(json::value{r});
+      }
+      json::put(co, "epoch_rounds", json::value{std::move(er)});
+      json::array ed;
+      ed.reserve(cm.epoch_delta_items.size());
+      for (std::size_t items : cm.epoch_delta_items) {
+        ed.push_back(json::value{items});
+      }
+      json::put(co, "epoch_delta_items", json::value{std::move(ed)});
+      json::array et;
+      et.reserve(cm.epoch_target_items.size());
+      for (std::size_t items : cm.epoch_target_items) {
+        et.push_back(json::value{items});
+      }
+      json::put(co, "epoch_target_items", json::value{std::move(et)});
+      json::put(co, "wire_bits", cm.wire_bits);
+      json::put(co, "full_resync_floor_bits", cm.full_resync_floor_bits);
+      json::put(co, "backlog_items", cm.backlog_items);
+      json::put(co, "shortcut_hits", cm.shortcut_hits);
+      json::put(co, "staleness_p50", cm.staleness_p50);
+      json::put(co, "staleness_p90", cm.staleness_p90);
+      json::put(co, "staleness_max", cm.staleness_max);
+      json::put(mo, "content", json::value{std::move(co)});
     }
     json::put(c, "metrics", json::value{std::move(mo)});
     cells.push_back(json::value{std::move(c)});

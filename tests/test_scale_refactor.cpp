@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/registry.hpp"
 #include "core/session.hpp"
 #include "dynnet/adversary.hpp"
@@ -165,6 +166,49 @@ TEST(scale_refactor, storage_toggles_never_change_sweep_bytes) {
           << "threads=" << threads << " batch=" << batch;
     }
   }
+}
+
+// A recycled row must be bit-for-bit the row a fresh bitvec would hold:
+// the pool only hands out storage, never contents (PR9 leans on this when
+// the epoch driver re-seeds a new backend from the same arena).
+TEST(scale_refactor, recycled_arena_rows_come_back_zeroed) {
+  word_arena arena;
+  bitvec row = arena.make(192);
+  EXPECT_EQ(arena.allocations(), 1u);
+  for (std::size_t i = 0; i < row.size(); i += 3) row.set(i, true);
+  arena.recycle(std::move(row));
+  EXPECT_EQ(arena.pooled(), 1u);
+
+  const bitvec again = arena.make(192);
+  EXPECT_EQ(arena.reuses(), 1u);
+  EXPECT_EQ(arena.allocations(), 1u);
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    ASSERT_FALSE(again.get(i)) << "stale bit " << i;
+  }
+}
+
+// Across a versioned-content run the session keeps one arena while the
+// epoch driver tears down and re-seeds a coding backend per epoch; rows
+// freed by epoch e's teardown must come back as epoch e+1's outgoing rows
+// instead of fresh heap churn.
+TEST(scale_refactor, content_epochs_recycle_arena_rows) {
+  problem prob;
+  prob.n = 16;
+  prob.k = 16;
+  prob.d = 8;
+  prob.b = 32;
+  prob.t_stability = 1;
+  prob.place = placement::one_per_node;
+  session s(prob, protocol_spec{"rlnc-direct", {}},
+            adversary_spec{"permuted-path", {}}, link_spec{},
+            content_spec{"steady", {}}, 2);
+  const run_report& rep = s.run_to_completion();
+  ASSERT_TRUE(rep.complete);
+  ASSERT_GT(rep.metrics.content.epochs, 1u);
+  EXPECT_GT(s.arena().reuses(), 0u);
+  // Steady state: rounds far outnumber distinct buffers, so recycled rows
+  // dominate fresh allocations across the epoch boundaries.
+  EXPECT_GT(s.arena().reuses(), s.arena().allocations());
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+// Fixture: the hazards a versioned-content schedule invites.  The patch
+// DAG must be a pure function of (spec, problem, seed); the constructs
+// below are the tempting wrong ways to draw, stamp, and store it, and
+// the tail shows the shapes that pass clean.
+#include <ctime>
+#include <random>
+#include <set>
+#include <unordered_set>
+
+namespace fixture {
+
+struct patch {
+  int version;
+};
+
+// Drawing patch parents from entropy makes every schedule a new DAG.
+int entropy_parent_draw() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+// Stamping epochs from the wall clock ties the schedule to the run date.
+long epoch_stamp() { return static_cast<long>(std::time(nullptr)); }
+
+// A target closure in an unordered set seeds the coding backend in hash
+// order — the delta's item-index mapping leaks the bucket layout.
+std::unordered_set<int> bad_target_closure;
+
+// Keying supersede chains on patch addresses walks them in allocation
+// order, which the allocator owns, not the DAG.
+std::set<patch*> bad_supersede_chain;
+
+// The right shapes: sorted version ids, or an annotated lookup-only use.
+std::set<int> good_target_closure;
+
+// ncdn-lint: allow(unordered-container): membership probe only, never
+// iterated; closure queries are order-independent.
+std::unordered_set<int> version_lookup_cache;
+
+}  // namespace fixture

@@ -4,6 +4,7 @@
 //   ncdn-run list-algorithms         every registered protocol + summary
 //   ncdn-run list-adversaries        every registered adversary + summary
 //   ncdn-run list-links              every registered link model + summary
+//   ncdn-run list-contents           every registered content model + summary
 //   ncdn-run run NAME [options]      one named scenario, one seed
 //   ncdn-run run --alg A --topo T [options]
 //                                    ad-hoc cell from registry spec names
@@ -16,6 +17,10 @@
 //                       src/linkmodel; e.g. --link bernoulli,p=0.2 or
 //                       --link perfect,delay_max=3); requires a
 //                       loss-tolerant protocol
+//     --content SPEC    versioned-content workload "name[,key=value]..."
+//                       (see src/content; e.g. --content steady or
+//                       --content rolling,epochs=8); requires a
+//                       coded-broadcast protocol (rlnc-*)
 //     --trace           print a per-round observer line while running
 //                       (gains sent/delivered/dropped/in-flight columns
 //                       when a link model is active)
@@ -64,11 +69,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list [PATTERN]\n"
                "       %s list-algorithms | list-adversaries | "
-               "list-links\n"
+               "list-links | list-contents\n"
                "       %s run NAME [--seed S] [--param K=V]... "
-               "[--link SPEC] [--trace]\n"
+               "[--link SPEC] [--content SPEC] [--trace]\n"
                "       %s run --alg NAME --topo NAME [--seed S] "
-               "[--param K=V]... [--link SPEC] [--trace]\n"
+               "[--param K=V]... [--link SPEC] [--content SPEC] [--trace]\n"
                "       %s sweep [--match PATTERN]... [--tier NAME] "
                "[--filter REGEX] [--param K=V]... "
                "[--seeds N] [--base-seed S] [--threads N] [--batch N] "
@@ -129,6 +134,15 @@ int cmd_list_links() {
   return 0;
 }
 
+int cmd_list_contents() {
+  for (const content_entry& e : content_registry::instance().entries()) {
+    std::printf("%-28s %s\n", e.name.c_str(), e.summary.c_str());
+  }
+  std::fprintf(stderr, "%zu content model(s)\n",
+               content_registry::instance().entries().size());
+  return 0;
+}
+
 void print_report(const std::string& label, const run_report& rep) {
   const session_metrics& m = rep.metrics;
   std::printf("scenario           %s\n", label.c_str());
@@ -162,6 +176,27 @@ void print_report(const std::string& label, const run_report& rep) {
                 static_cast<unsigned long long>(m.total_messages_dropped),
                 m.messages_in_flight);
   }
+  if (m.content.active) {
+    const content_metrics& cm = m.content;
+    std::printf("content            resync=%s epochs=%zu versions=%zu "
+                "head=%zu\n",
+                cm.resync_full ? "full" : "delta", cm.epochs, cm.versions,
+                cm.head_version);
+    std::printf("content_epochs     ");
+    for (std::size_t e = 0; e < cm.epoch_rounds.size(); ++e) {
+      std::printf("%s%lld/%zu", e == 0 ? "" : " ",
+                  static_cast<long long>(cm.epoch_rounds[e]),
+                  cm.epoch_delta_items[e]);
+    }
+    std::printf("  (rounds/delta per epoch)\n");
+    std::printf("content_wire       wire_bits=%llu full_resync_floor=%llu "
+                "backlog=%zu shortcuts=%zu\n",
+                static_cast<unsigned long long>(cm.wire_bits),
+                static_cast<unsigned long long>(cm.full_resync_floor_bits),
+                cm.backlog_items, cm.shortcut_hits);
+    std::printf("content_staleness  p50=%zu p90=%zu max=%zu\n",
+                cm.staleness_p50, cm.staleness_p90, cm.staleness_max);
+  }
   // Process-level footprint, not part of the run record (it depends on the
   // machine, not the seed).
   std::printf("peak_rss_bytes     %zu\n", peak_rss_bytes());
@@ -174,6 +209,7 @@ int cmd_run(int argc, char** argv) {
   std::uint64_t seed = 1;
   param_map params;
   std::string link_text;
+  std::string content_text;
   bool trace = false;
 
   for (int i = 0; i < argc; ++i) {
@@ -213,6 +249,10 @@ int cmd_run(int argc, char** argv) {
       const char* p = next("--link");
       if (p == nullptr) return 2;
       link_text = p;
+    } else if (arg == "--content") {
+      const char* p = next("--content");
+      if (p == nullptr) return 2;
+      content_text = p;
     } else if (arg == "--trace") {
       trace = true;
     } else if (!arg.empty() && arg[0] != '-' && name.empty()) {
@@ -249,6 +289,13 @@ int cmd_run(int argc, char** argv) {
         link_text += "," + key + "=" + val;
       }
     }
+    // Likewise for a content scenario's workload spec.
+    if (content_text.empty() && !s->content.empty()) {
+      content_text = s->content;
+      for (const auto& [key, val] : s->content_params) {
+        content_text += "," + key + "=" + val;
+      }
+    }
   } else {
     if (alg.empty() || topo.empty()) {
       std::fprintf(stderr,
@@ -268,8 +315,10 @@ int cmd_run(int argc, char** argv) {
   try {
     link_spec link;
     if (!link_text.empty()) link = parse_link_spec(link_text);
+    content_spec content;
+    if (!content_text.empty()) content = parse_content_spec(content_text);
     session s(prob, protocol_spec{alg, params}, adversary_spec{topo, params},
-              std::move(link), seed);
+              std::move(link), std::move(content), seed);
     if (trace) {
       s.set_observer([](const round_metrics& m) {
         std::printf("round %6llu  know %zu..%zu (sum %zu)  edges %zu  "
@@ -490,6 +539,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "list-links") {
     return cmd_list_links();
+  }
+  if (cmd == "list-contents") {
+    return cmd_list_contents();
   }
   if (cmd == "run") {
     if (argc < 3) return usage(argv[0]);
