@@ -1,0 +1,190 @@
+// E22 — the encoder-schedule x decoder-strategy matrix, measured.
+//
+// Two claims the PR10 redesign makes quantitative:
+//
+//   1. Banded-pivot elimination is free speed.  On the generation layout
+//      the banded eliminator draws the exact same rows as the generic
+//      grouped rref — identical wire bytes, identical rounds — but keeps
+//      every pivot inside the g+w coefficient window, so it XORs
+//      (g+w+d)-bit rows instead of (k+d)-bit rows.  At n = k = 256 the
+//      full row is ~5x the band width and the elimination_xors gap is the
+//      whole story.  Self-asserted: banded < generic at equal rounds.
+//
+//   2. Schedules trade decode-delay, not correctness.  Under a lossy
+//      channel the dense coin makes every early packet useful but
+//      nothing decodable until ranks fill; the systematic first pass
+//      puts decodable tokens on the air from round one instead.  On the
+//      path topology the delay tail is diameter-bound, so the schedules
+//      land within a round or two of each other — the table records the
+//      p50/p90/max triple per schedule for the trajectory diff.
+//
+// Writes BENCH_E22.json under NCDN_BENCH_JSON (sections "elimination"
+// and "decode_delay"), the file the nightly trajectory job diffs.
+#include "bench_util.hpp"
+
+using namespace ncdn;
+using namespace ncdn::bench;
+
+namespace {
+
+struct cell_outcome {
+  double rounds = 0;
+  double xors = 0;
+  double wire_bits = 0;
+  double delay_p50 = 0;
+  double delay_p90 = 0;
+  double delay_max = 0;
+  double completion_rate = 0;
+};
+
+cell_outcome measure(const problem& prob, const param_map& proto_params,
+                     const link_spec& link, std::size_t trials) {
+  cell_outcome out;
+  const double t = static_cast<double>(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    session s(prob, protocol_spec{"rlnc-gen", proto_params},
+              adversary_spec{"permuted-path", {}}, link, 1 + trial);
+    const run_report rep = s.run_to_completion();
+    const session_metrics& m = rep.metrics;
+    NCDN_ASSERT(m.decode_delay_active);
+    out.rounds += static_cast<double>(rep.rounds) / t;
+    out.xors += static_cast<double>(m.total_elimination_xors) / t;
+    out.wire_bits += static_cast<double>(m.total_message_bits) / t;
+    out.delay_p50 += static_cast<double>(m.decode_delay_p50) / t;
+    out.delay_p90 += static_cast<double>(m.decode_delay_p90) / t;
+    out.delay_max += static_cast<double>(m.decode_delay_max) / t;
+    out.completion_rate += rep.complete ? 1.0 / t : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(
+      "E22", "decoder matrix — banded vs generic elimination cost at "
+             "n = k = 256, and systematic vs dense decode-delay under "
+             "bernoulli losses");
+  json_recorder rec("E22");
+  const std::size_t trials = trials_from_env(3);
+  const double scale = scale_from_env();
+
+  // --- claim 1: elimination cost, n = k = 256 -------------------------------
+  // gen_size 16 / overlap 4: the band window is g+w+d = 36 bits against a
+  // full row of k+d = 272 bits, so the generic grouped rref pays ~9x the
+  // words per row-XOR.  Both decode the same draws.
+  const std::size_t big = static_cast<std::size_t>(256 * scale);
+  problem elim;
+  elim.n = big;
+  elim.k = big;
+  elim.d = 16;
+  elim.b = big + 16;
+  elim.place = placement::one_per_node;
+  rec.config("trials", json::value{trials});
+  rec.config("n", json::value{big});
+  rec.config("gen_size", json::value{std::size_t{16}});
+  rec.config("band_overlap", json::value{std::size_t{4}});
+
+  const param_map gen16 = {{"gen_size", "16"}, {"band_overlap", "4"}};
+  struct elim_point {
+    const char* label;
+    param_map extra;
+  };
+  const std::vector<elim_point> elim_grid = {
+      {"dec=banded", {}},  // registry default for rlnc-gen
+      {"dec=rref", {{"dec", "rref"}}},
+  };
+
+  double banded_xors = 0, generic_xors = 0;
+  double banded_rounds = 0, generic_rounds = 0;
+
+  text_table et({"decoder", "rounds", "elim_xors", "wire_bits", "complete"});
+  for (const elim_point& p : elim_grid) {
+    param_map params = gen16;
+    for (const auto& [k, v] : p.extra) params[k] = v;
+    const cell_outcome o = measure(elim, params, link_spec{}, trials);
+    et.add_row({p.label, text_table::num(o.rounds), text_table::num(o.xors),
+                text_table::num(o.wire_bits),
+                text_table::num(o.completion_rate)});
+    rec.row("elimination", {{"decoder", json::value{p.label}},
+                            {"rounds", json::value{o.rounds}},
+                            {"elimination_xors", json::value{o.xors}},
+                            {"wire_bits", json::value{o.wire_bits}},
+                            {"completion_rate", json::value{o.completion_rate}}});
+    if (std::string(p.label) == "dec=banded") {
+      banded_xors = o.xors;
+      banded_rounds = o.rounds;
+    } else {
+      generic_xors = o.xors;
+      generic_rounds = o.rounds;
+    }
+  }
+  et.print();
+
+  // --- claim 2: decode-delay under losses, systematic vs dense --------------
+  const std::size_t n = static_cast<std::size_t>(64 * scale);
+  problem lossy;
+  lossy.n = n;
+  lossy.k = n;
+  lossy.d = 16;
+  lossy.b = n + 16;
+  lossy.place = placement::one_per_node;
+  const link_spec bern{"bernoulli", {{"p", "0.2"}}};
+
+  struct sched_point {
+    const char* label;
+    param_map extra;
+  };
+  const std::vector<sched_point> sched_grid = {
+      {"sched=dense", {}},
+      {"sched=systematic", {{"sched", "systematic"}}},
+      {"sched=feedback", {{"sched", "feedback"}}},
+  };
+
+  double dense_p50 = 0, sys_p50 = 0, dense_p90 = 0, sys_p90 = 0;
+
+  text_table dt({"schedule", "rounds", "delay_p50", "delay_p90", "delay_max",
+                 "complete"});
+  for (const sched_point& p : sched_grid) {
+    param_map params = gen16;
+    for (const auto& [k, v] : p.extra) params[k] = v;
+    const cell_outcome o = measure(lossy, params, bern, trials);
+    dt.add_row({p.label, text_table::num(o.rounds),
+                text_table::num(o.delay_p50), text_table::num(o.delay_p90),
+                text_table::num(o.delay_max),
+                text_table::num(o.completion_rate)});
+    rec.row("decode_delay", {{"schedule", json::value{p.label}},
+                             {"rounds", json::value{o.rounds}},
+                             {"decode_delay_p50", json::value{o.delay_p50}},
+                             {"decode_delay_p90", json::value{o.delay_p90}},
+                             {"decode_delay_max", json::value{o.delay_max}},
+                             {"completion_rate",
+                              json::value{o.completion_rate}}});
+    if (std::string(p.label) == "sched=dense") {
+      dense_p50 = o.delay_p50;
+      dense_p90 = o.delay_p90;
+    }
+    if (std::string(p.label) == "sched=systematic") {
+      sys_p50 = o.delay_p50;
+      sys_p90 = o.delay_p90;
+    }
+  }
+  dt.print();
+
+  std::printf(
+      "\nPaper check: at n = k = %zu the banded eliminator spends %.0f "
+      "elimination XOR-words vs %.0f for the generic grouped rref "
+      "(%.2fx) at identical rounds (%.1f vs %.1f) — the pivot window "
+      "g+w is the entire saving.  Under 20%% bernoulli losses the "
+      "dense vs systematic decode-delay percentiles are p50 %.1f vs "
+      "%.1f, p90 %.1f vs %.1f (diameter-bound on the path).\n",
+      big, banded_xors, generic_xors, generic_xors / banded_xors,
+      banded_rounds, generic_rounds, dense_p50, sys_p50, dense_p90, sys_p90);
+
+  // The headline self-asserts (driver-checked): banded strictly cuts
+  // elimination work on the same draws, at the same round count.
+  NCDN_ASSERT(banded_xors > 0 && generic_xors > 0);
+  NCDN_ASSERT(banded_xors < generic_xors);
+  NCDN_ASSERT(banded_rounds == generic_rounds);
+  return 0;
+}

@@ -1,262 +1,13 @@
 #include "coding/backend.hpp"
 
-#include <algorithm>
-#include <bit>
 #include <deque>
 
-#include "linalg/bitmatrix.hpp"
+#include "coding/matrix.hpp"
+#include "core/contracts.hpp"
 
 namespace ncdn {
 
 namespace {
-
-constexpr std::size_t npos = ~std::size_t{0};
-
-/// Index of the last set bit below `upto`, or npos if none.
-std::size_t last_set_below(const bitvec& v, std::size_t upto) {
-  const std::size_t nw = (upto + 63) >> 6;
-  for (std::size_t i = nw; i-- > 0;) {
-    std::uint64_t word = v.words()[i];
-    const std::size_t below = upto - (i << 6);  // bits of this word < upto
-    if (below < 64) word &= (1ULL << below) - 1;
-    if (word != 0) {
-      return (i << 6) + 63 -
-             static_cast<std::size_t>(std::countl_zero(word));
-    }
-  }
-  return npos;
-}
-
-// --- dense / sparse: one full-span incremental decoder ----------------------
-
-class span_coder final : public node_coder {
- public:
-  /// rho == 0.5 via coin() is the dense path; anything else draws from the
-  /// Bernoulli stream.  The two are kept distinct so dense stays
-  /// draw-for-draw identical to the historical rlnc_session.
-  span_coder(std::size_t items, std::size_t item_bits, bool dense, double rho)
-      : dec_(items, item_bits), dense_(dense), rho_(rho) {}
-
-  void insert(const bitvec& row) override { dec_.insert(row); }
-
-  std::optional<bitvec> make_combination(rng& r, word_arena* pool) override {
-    return dense_ ? dec_.random_combination(r, pool)
-                  : dec_.sparse_combination(r, rho_, pool);
-  }
-
-  std::size_t rank() const override { return dec_.rank(); }
-  bool complete() const override { return dec_.complete(); }
-  bool can_decode(std::size_t i) const override { return dec_.can_decode(i); }
-  bitvec decode(std::size_t i) const override { return dec_.decode(i); }
-  std::uint64_t xor_word_ops() const override { return dec_.xor_word_ops(); }
-  const bit_decoder* dense_decoder() const override { return &dec_; }
-
- private:
-  bit_decoder dec_;
-  bool dense_;
-  double rho_;
-};
-
-class dense_backend final : public coding_backend {
- public:
-  std::string name() const override { return "dense"; }
-  std::unique_ptr<node_coder> make_node_coder(
-      std::size_t items, std::size_t item_bits) const override {
-    return std::make_unique<span_coder>(items, item_bits, /*dense=*/true, 0.5);
-  }
-};
-
-class sparse_backend final : public coding_backend {
- public:
-  explicit sparse_backend(double rho) : rho_(rho) {
-    NCDN_EXPECTS(rho > 0.0 && rho <= 1.0);
-  }
-  std::string name() const override { return "sparse"; }
-  std::unique_ptr<node_coder> make_node_coder(
-      std::size_t items, std::size_t item_bits) const override {
-    return std::make_unique<span_coder>(items, item_bits, /*dense=*/false,
-                                        rho_);
-  }
-
- private:
-  double rho_;
-};
-
-// --- generation/band coding -------------------------------------------------
-
-// Generation j owns the token window [j*g, min(j*g + g + w, k)).  Narrow
-// rows [window | payload] accumulate per generation; arrivals batch in
-// `pending` and one gf2_rref pass per touched generation per query folds
-// them into the reduced basis (the batched GG/BD decode shape — re-reducing
-// an already-RREF basis costs zero XORs, so laziness is free).
-class generation_coder final : public node_coder {
- public:
-  generation_coder(std::size_t items, std::size_t item_bits,
-                   std::size_t gen_size, std::size_t band_overlap)
-      : items_(items),
-        item_bits_(item_bits),
-        decoded_(items),
-        decoded_gen_(items, 0) {
-    NCDN_EXPECTS(gen_size >= 1);
-    NCDN_EXPECTS(band_overlap <= gen_size);
-    for (std::size_t start = 0; start < items; start += gen_size) {
-      generation g;
-      g.start = start;
-      g.width = std::min(gen_size + band_overlap, items - start);
-      gens_.push_back(std::move(g));
-    }
-  }
-
-  void insert(const bitvec& row) override {
-    NCDN_EXPECTS(row.size() == items_ + item_bits_);
-    const std::size_t lo = row.first_set();
-    if (lo >= items_) {
-      // Zero coefficients: either the all-zero draw (harmless) or a
-      // corrupted row with payload but no coefficients (contract).
-      NCDN_ASSERT(lo == row.size());
-      return;
-    }
-    const std::size_t hi = last_set_below(row, items_);
-    for (generation& g : gens_) {
-      if (g.start <= lo && hi < g.start + g.width) {
-        bitvec narrow(g.width + item_bits_);
-        narrow.copy_bits_from(row, g.start, g.width, 0);
-        narrow.copy_bits_from(row, items_, item_bits_, g.width);
-        g.pending.push_back(std::move(narrow));
-      }
-    }
-  }
-
-  std::optional<bitvec> make_combination(rng& r, word_arena* pool) override {
-    reduce_all();
-    std::size_t live = 0;
-    for (const generation& g : gens_) {
-      if (!g.rows.empty()) ++live;
-    }
-    if (live == 0) return std::nullopt;
-    std::size_t pick = r.below(live);
-    const generation* chosen = nullptr;
-    for (const generation& g : gens_) {
-      if (g.rows.empty()) continue;
-      if (pick-- == 0) {
-        chosen = &g;
-        break;
-      }
-    }
-    bitvec narrow = pool != nullptr ? pool->make(chosen->width + item_bits_)
-                                    : bitvec(chosen->width + item_bits_);
-    for (const bitvec& row : chosen->rows) {
-      if (r.coin()) {
-        narrow.xor_with(row);
-        xor_words_ += narrow.words().size();
-      }
-    }
-    bitvec out = pool != nullptr ? pool->make(items_ + item_bits_)
-                                 : bitvec(items_ + item_bits_);
-    out.copy_bits_from(narrow, 0, chosen->width, chosen->start);
-    out.copy_bits_from(narrow, chosen->width, item_bits_, items_);
-    if (pool != nullptr) pool->recycle(std::move(narrow));
-    return out;
-  }
-
-  std::size_t rank() const override {
-    reduce_all();
-    return decoded_count_;
-  }
-  bool complete() const override {
-    reduce_all();
-    return decoded_count_ == items_;
-  }
-  bool can_decode(std::size_t i) const override {
-    NCDN_EXPECTS(i < items_);
-    reduce_all();
-    return decoded_.get(i);
-  }
-
-  bitvec decode(std::size_t i) const override {
-    NCDN_EXPECTS(can_decode(i));
-    // decoded_gen_ pins the generation that first produced the singleton
-    // (a singleton RREF row is stable under further reduction), so this is
-    // an indexed lookup like bit_decoder's pivot_row_, not a row scan.
-    const generation& g = gens_[decoded_gen_[i]];
-    const std::size_t local = i - g.start;
-    const auto it =
-        std::lower_bound(g.pivots.begin(), g.pivots.end(), local);
-    NCDN_ASSERT(it != g.pivots.end() && *it == local);
-    const std::size_t r =
-        static_cast<std::size_t>(it - g.pivots.begin());
-    NCDN_ASSERT(g.rows[r].popcount_below(g.width) == 1);
-    return g.rows[r].slice(g.width, item_bits_);
-  }
-
-  std::uint64_t xor_word_ops() const override { return xor_words_; }
-
- private:
-  struct generation {
-    std::size_t start = 0;
-    std::size_t width = 0;
-    std::vector<bitvec> rows;     // reduced (RREF) narrow basis
-    std::vector<std::size_t> pivots;
-    std::vector<bitvec> pending;  // arrivals since the last batch decode
-  };
-
-  void reduce_all() const {
-    for (std::size_t gi = 0; gi < gens_.size(); ++gi) reduce(gi);
-  }
-
-  void reduce(std::size_t gi) const {
-    generation& g = gens_[gi];  // gens_ is mutable
-    if (g.pending.empty()) return;
-    std::vector<bitvec> rows = std::move(g.rows);
-    rows.reserve(rows.size() + g.pending.size());
-    for (bitvec& row : g.pending) rows.push_back(std::move(row));
-    g.pending.clear();
-    g.pivots = gf2_rref(rows, &xor_words_);
-    g.rows = std::move(rows);
-    // Newly decodable tokens: a basis row whose window coefficients reduce
-    // to a singleton pins down one original (decodability is monotone, so
-    // set-once bookkeeping suffices).
-    for (std::size_t r = 0; r < g.rows.size(); ++r) {
-      if (g.rows[r].popcount_below(g.width) == 1) {
-        const std::size_t token = g.start + g.pivots[r];
-        if (!decoded_.get(token)) {
-          decoded_.set(token);
-          decoded_gen_[token] = gi;
-          ++decoded_count_;
-        }
-      }
-    }
-  }
-
-  std::size_t items_;
-  std::size_t item_bits_;
-  mutable std::vector<generation> gens_;  // lazily batch-reduced
-  mutable bitvec decoded_;
-  // For token i with decoded_.get(i): index of the generation whose basis
-  // holds its singleton row (decode's O(1)-ish lookup path).
-  mutable std::vector<std::size_t> decoded_gen_;
-  mutable std::size_t decoded_count_ = 0;
-  mutable std::uint64_t xor_words_ = 0;
-};
-
-class generation_backend final : public coding_backend {
- public:
-  generation_backend(std::size_t gen_size, std::size_t band_overlap)
-      : gen_size_(gen_size), band_overlap_(band_overlap) {
-    NCDN_EXPECTS(gen_size >= 1);
-    NCDN_EXPECTS(band_overlap <= gen_size);
-  }
-  std::string name() const override { return "generation"; }
-  std::unique_ptr<node_coder> make_node_coder(
-      std::size_t items, std::size_t item_bits) const override {
-    return std::make_unique<generation_coder>(items, item_bits, gen_size_,
-                                              band_overlap_);
-  }
-
- private:
-  std::size_t gen_size_;
-  std::size_t band_overlap_;
-};
 
 // --- bounded recoding buffer ------------------------------------------------
 
@@ -308,11 +59,21 @@ class buffered_coder final : public node_coder {
     return inner_->can_decode(i);
   }
   bitvec decode(std::size_t i) const override { return inner_->decode(i); }
+  std::size_t decode_progress() const override {
+    return inner_->decode_progress();
+  }
   std::uint64_t xor_word_ops() const override {
     return inner_->xor_word_ops() + xor_words_;
   }
-  const bit_decoder* dense_decoder() const override {
-    return inner_->dense_decoder();
+  // The buffer constrains only what a node sends, so the feedback surface
+  // passes through: reports still describe the inner decoder's deficits
+  // (and a feedback schedule's steering goes unused while buffered
+  // emission is in charge).
+  const std::vector<std::uint32_t>* deficit_report() override {
+    return inner_->deficit_report();
+  }
+  void observe_feedback(const std::vector<std::uint32_t>& deficits) override {
+    inner_->observe_feedback(deficits);
   }
 
  private:
@@ -349,16 +110,24 @@ class buffered_backend final : public coding_backend {
 }  // namespace
 
 std::unique_ptr<coding_backend> make_dense_backend() {
-  return std::make_unique<dense_backend>();
+  return make_matrix_backend(matrix_spec{});
 }
 
 std::unique_ptr<coding_backend> make_sparse_backend(double rho) {
-  return std::make_unique<sparse_backend>(rho);
+  matrix_spec spec;
+  spec.sched = "sparse";
+  spec.rho = rho;
+  return make_matrix_backend(spec);
 }
 
 std::unique_ptr<coding_backend> make_generation_backend(
     std::size_t gen_size, std::size_t band_overlap) {
-  return std::make_unique<generation_backend>(gen_size, band_overlap);
+  NCDN_EXPECTS(gen_size >= 1);
+  matrix_spec spec;
+  spec.dec = "banded";
+  spec.gen_size = gen_size;
+  spec.band_overlap = band_overlap;
+  return make_matrix_backend(spec);
 }
 
 std::unique_ptr<coding_backend> make_buffered_backend(

@@ -4,19 +4,17 @@
 // systems trade a few extra rounds for far cheaper elimination — see
 // sparsenc's sparse/GG/BD decoders, Firooz & Roy, Costa et al.).
 //
-// Three built-ins:
-//   dense      — the paper's random GF(2) combination over the whole
-//                received span (coin per basis row).  Bit-identical to the
-//                historical rlnc_session path: same draws, same order.
-//   sparse     — each basis row enters the combination with independent
-//                Bernoulli density rho instead of 1/2.  Fewer XORs per
-//                emitted packet, more rounds to mix.
-//   generation — tokens are partitioned into generations of size g with a
-//                width-w band overlap; nodes code only within a generation
-//                and decode generation-by-generation with batched gf2_rref
-//                (sparsenc's GG/BD shape).  Elimination never touches more
-//                than g+w pivots and rows are stored narrow, so decode cost
-//                drops from O(k)-wide to O(g)-wide.
+// The concrete strategies live in the (encoder schedule × decoder
+// strategy) matrix of coding/matrix.hpp: what a node sends (dense coin,
+// sparse-rho, systematic first pass, feedback-steered generation pick) is
+// composed with how arrivals are eliminated (generic rref, banded-pivot).
+// The historical factories below are bit-identical shims over the default
+// matrix cells — same RNG draws in the same order, same wire bytes, same
+// XOR-word accounting:
+//   make_dense_backend       == matrix cell sched=dense,  dec=rref
+//   make_sparse_backend      == matrix cell sched=sparse, dec=rref
+//   make_generation_backend  == matrix cell sched=dense,  dec=banded
+//                               (generation layout)
 //
 // The wire format is shared: every backend emits full-width rows
 // [k coefficients | payload], so message sizing, the network budget, and
@@ -26,12 +24,14 @@
 // elimination_xors).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/arena.hpp"
-#include "linalg/decoder.hpp"
+#include "linalg/bitvec.hpp"
 
 namespace ncdn {
 
@@ -64,12 +64,23 @@ class node_coder {
   /// Payload of token i; requires can_decode(i).
   virtual bitvec decode(std::size_t i) const = 0;
 
+  /// Number of tokens currently decodable (monotone; == items iff
+  /// complete).  Uniform across backends — the session's decode-delay
+  /// accounting reads this instead of poking a backend-specific decoder,
+  /// which is why the old dense_decoder() nullptr escape hatch is gone.
+  virtual std::size_t decode_progress() const = 0;
+
   /// Cumulative XOR word-ops spent eliminating and combining.
   virtual std::uint64_t xor_word_ops() const = 0;
 
-  /// The single full-span decoder, when the backend keeps one (dense and
-  /// sparse do; generation coding returns nullptr).
-  virtual const bit_decoder* dense_decoder() const { return nullptr; }
+  /// Feedback surface (matrix cells with sched=feedback): the node's
+  /// per-generation rank deficits to piggyback on its outgoing row, and
+  /// the fold of a neighbor's piggybacked report.  Backends without a
+  /// feedback schedule return nullptr / ignore.
+  virtual const std::vector<std::uint32_t>* deficit_report() {
+    return nullptr;
+  }
+  virtual void observe_feedback(const std::vector<std::uint32_t>&) {}
 };
 
 /// Factory of per-node coders for one (items, item_bits) instance.
@@ -82,15 +93,18 @@ class coding_backend {
 };
 
 /// The paper's dense GF(2) RLNC (the default; draw-for-draw identical to
-/// the pre-backend rlnc_session).
+/// the pre-backend rlnc_session).  Shim for the matrix cell
+/// sched=dense, dec=rref over the full-span layout (coding/matrix.hpp).
 std::unique_ptr<coding_backend> make_dense_backend();
 
-/// Sparse RLNC with Bernoulli inclusion density rho in (0, 1].
+/// Sparse RLNC with Bernoulli inclusion density rho in (0, 1].  Shim for
+/// the matrix cell sched=sparse, dec=rref.
 std::unique_ptr<coding_backend> make_sparse_backend(double rho);
 
 /// Generation/band coding: generations of `gen_size` tokens, consecutive
 /// generations sharing a `band_overlap`-token band (band_overlap <=
-/// gen_size; 0 = disjoint generations).
+/// gen_size; 0 = disjoint generations).  Shim for the matrix cell
+/// sched=dense, dec=banded over the generation layout.
 std::unique_ptr<coding_backend> make_generation_backend(
     std::size_t gen_size, std::size_t band_overlap);
 

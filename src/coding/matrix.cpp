@@ -1,0 +1,594 @@
+#include "coding/matrix.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "linalg/bitmatrix.hpp"
+#include "linalg/decoder.hpp"
+
+namespace ncdn {
+
+namespace {
+
+constexpr std::size_t npos = ~std::size_t{0};
+
+/// Index of the last set bit below `upto`, or npos if none.
+std::size_t last_set_below(const bitvec& v, std::size_t upto) {
+  const std::size_t nw = (upto + 63) >> 6;
+  for (std::size_t i = nw; i-- > 0;) {
+    std::uint64_t word = v.words()[i];
+    const std::size_t below = upto - (i << 6);  // bits of this word < upto
+    if (below < 64) word &= (1ULL << below) - 1;
+    if (word != 0) {
+      return (i << 6) + 63 -
+             static_cast<std::size_t>(std::countl_zero(word));
+    }
+  }
+  return npos;
+}
+
+bitvec make_row(word_arena* pool, std::size_t bits) {
+  return pool != nullptr ? pool->make(bits) : bitvec(bits);
+}
+
+// --- decoder strategies -----------------------------------------------------
+
+// Full-span generic elimination: one incremental RREF decoder, one group
+// covering every token (the dense/sparse storage of PR 3).
+class span_strategy final : public decoder_strategy {
+ public:
+  span_strategy(std::size_t items, std::size_t item_bits)
+      : dec_(items, item_bits) {}
+
+  void insert(const bitvec& row) override { dec_.insert(row); }
+  std::size_t rank() const override { return dec_.rank(); }
+  bool complete() const override { return dec_.complete(); }
+  bool can_decode(std::size_t i) const override { return dec_.can_decode(i); }
+  bitvec decode(std::size_t i) const override { return dec_.decode(i); }
+  std::size_t decode_progress() const override {
+    return dec_.decodable_count();
+  }
+  std::uint64_t xor_word_ops() const override { return dec_.xor_word_ops(); }
+
+  std::size_t items() const override { return dec_.coeff_dim(); }
+  std::size_t item_bits() const override { return dec_.payload_bits(); }
+
+  void prepare_emit() const override {}  // insert() reduces eagerly
+  bool grouped() const override { return false; }
+  std::size_t group_count() const override { return 1; }
+  group_ref group(std::size_t gi) const override {
+    NCDN_EXPECTS(gi == 0);
+    return {0, dec_.coeff_dim(), /*narrow=*/false, &dec_.basis()};
+  }
+
+ private:
+  bit_decoder dec_;
+};
+
+// Generation-windowed elimination.  Generation j owns the token window
+// [j*g, min(j*g + g + w, k)); arrivals whose support fits a window batch in
+// `pending` and one gf2_rref pass per touched generation per query folds
+// them in (re-reducing an RREF basis costs zero XORs, so laziness is free).
+//
+// narrow_ == true is the banded-pivot eliminator: rows are stored
+// [window | payload] and pivots never leave the g+w window, so every
+// elimination XOR touches g+w+d bits.  narrow_ == false is the generic
+// rref baseline over the same generation structure: identical row spaces,
+// identical draws, but rows stay full wire width and every XOR pays k+d
+// bits — the comparison BENCH_E22 quantifies.
+class grouped_strategy final : public decoder_strategy {
+ public:
+  grouped_strategy(std::size_t items, std::size_t item_bits,
+                   std::size_t gen_size, std::size_t band_overlap,
+                   bool narrow)
+      : items_(items),
+        item_bits_(item_bits),
+        narrow_(narrow),
+        decoded_(items),
+        decoded_gen_(items, 0) {
+    NCDN_EXPECTS(gen_size >= 1);
+    NCDN_EXPECTS(band_overlap <= gen_size);
+    for (std::size_t start = 0; start < items; start += gen_size) {
+      generation g;
+      g.start = start;
+      g.width = std::min(gen_size + band_overlap, items - start);
+      gens_.push_back(std::move(g));
+    }
+  }
+
+  void insert(const bitvec& row) override {
+    NCDN_EXPECTS(row.size() == items_ + item_bits_);
+    const std::size_t lo = row.first_set();
+    if (lo >= items_) {
+      // Zero coefficients: either the all-zero draw (harmless) or a
+      // corrupted row with payload but no coefficients (contract).
+      NCDN_ASSERT(lo == row.size());
+      return;
+    }
+    const std::size_t hi = last_set_below(row, items_);
+    for (generation& g : gens_) {
+      if (g.start <= lo && hi < g.start + g.width) {
+        if (narrow_) {
+          bitvec slim(g.width + item_bits_);
+          slim.copy_bits_from(row, g.start, g.width, 0);
+          slim.copy_bits_from(row, items_, item_bits_, g.width);
+          g.pending.push_back(std::move(slim));
+        } else {
+          g.pending.push_back(row);
+        }
+      }
+    }
+  }
+
+  std::size_t rank() const override {
+    reduce_all();
+    return decoded_count_;
+  }
+  bool complete() const override {
+    reduce_all();
+    return decoded_count_ == items_;
+  }
+  bool can_decode(std::size_t i) const override {
+    NCDN_EXPECTS(i < items_);
+    reduce_all();
+    return decoded_.get(i);
+  }
+
+  bitvec decode(std::size_t i) const override {
+    NCDN_EXPECTS(can_decode(i));
+    // decoded_gen_ pins the generation that first produced the singleton
+    // (a singleton RREF row is stable under further reduction), so this is
+    // an indexed lookup like bit_decoder's pivot_row_, not a row scan.
+    const generation& g = gens_[decoded_gen_[i]];
+    const std::size_t local = narrow_ ? i - g.start : i;
+    const auto it =
+        std::lower_bound(g.pivots.begin(), g.pivots.end(), local);
+    NCDN_ASSERT(it != g.pivots.end() && *it == local);
+    const std::size_t r =
+        static_cast<std::size_t>(it - g.pivots.begin());
+    const std::size_t coeff_bits = narrow_ ? g.width : items_;
+    NCDN_ASSERT(g.rows[r].popcount_below(coeff_bits) == 1);
+    return g.rows[r].slice(coeff_bits, item_bits_);
+  }
+
+  std::size_t decode_progress() const override {
+    reduce_all();
+    return decoded_count_;
+  }
+  std::uint64_t xor_word_ops() const override { return xor_words_; }
+
+  std::size_t items() const override { return items_; }
+  std::size_t item_bits() const override { return item_bits_; }
+
+  void prepare_emit() const override { reduce_all(); }
+  bool grouped() const override { return true; }
+  std::size_t group_count() const override { return gens_.size(); }
+  group_ref group(std::size_t gi) const override {
+    NCDN_EXPECTS(gi < gens_.size());
+    const generation& g = gens_[gi];
+    return {g.start, g.width, narrow_, &g.rows};
+  }
+
+ private:
+  struct generation {
+    std::size_t start = 0;
+    std::size_t width = 0;
+    std::vector<bitvec> rows;     // reduced (RREF) basis
+    std::vector<std::size_t> pivots;
+    std::vector<bitvec> pending;  // arrivals since the last batch decode
+  };
+
+  void reduce_all() const {
+    for (std::size_t gi = 0; gi < gens_.size(); ++gi) reduce(gi);
+  }
+
+  void reduce(std::size_t gi) const {
+    generation& g = gens_[gi];  // gens_ is mutable
+    if (g.pending.empty()) return;
+    std::vector<bitvec> rows = std::move(g.rows);
+    rows.reserve(rows.size() + g.pending.size());
+    for (bitvec& row : g.pending) rows.push_back(std::move(row));
+    g.pending.clear();
+    g.pivots = gf2_rref(rows, &xor_words_);
+    g.rows = std::move(rows);
+    // Newly decodable tokens: a basis row whose coefficients reduce to a
+    // singleton pins down one original (decodability is monotone, so
+    // set-once bookkeeping suffices).
+    const std::size_t coeff_bits = narrow_ ? g.width : items_;
+    for (std::size_t r = 0; r < g.rows.size(); ++r) {
+      if (g.rows[r].popcount_below(coeff_bits) == 1) {
+        const std::size_t token =
+            narrow_ ? g.start + g.pivots[r] : g.pivots[r];
+        if (!decoded_.get(token)) {
+          decoded_.set(token);
+          decoded_gen_[token] = gi;
+          ++decoded_count_;
+        }
+      }
+    }
+  }
+
+  std::size_t items_;
+  std::size_t item_bits_;
+  bool narrow_;
+  mutable std::vector<generation> gens_;  // lazily batch-reduced
+  mutable bitvec decoded_;
+  // For token i with decoded_.get(i): index of the generation whose basis
+  // holds its singleton row (decode's O(1)-ish lookup path).
+  mutable std::vector<std::size_t> decoded_gen_;
+  mutable std::size_t decoded_count_ = 0;
+  mutable std::uint64_t xor_words_ = 0;
+};
+
+// --- emission helpers -------------------------------------------------------
+
+bool include_row(rng& r, bool dense, double rho) {
+  return dense ? r.coin() : r.bernoulli(rho);
+}
+
+// Coin/Bernoulli-combines one group's reduced rows into a full wire row.
+// Narrow groups combine narrow then widen (every combination XOR is window
+// wide — the generation coder's draw and accounting, verbatim); full-width
+// groups XOR wire rows directly.
+bitvec combine_group(const decoder_strategy& dec,
+                     const decoder_strategy::group_ref& g, rng& r,
+                     word_arena* pool, std::uint64_t* xor_words, bool dense,
+                     double rho) {
+  const std::size_t items = dec.items();
+  const std::size_t item_bits = dec.item_bits();
+  if (g.narrow) {
+    bitvec slim = make_row(pool, g.width + item_bits);
+    for (const bitvec& row : *g.rows) {
+      if (include_row(r, dense, rho)) {
+        slim.xor_with(row);
+        *xor_words += slim.words().size();
+      }
+    }
+    bitvec out = make_row(pool, items + item_bits);
+    out.copy_bits_from(slim, 0, g.width, g.start);
+    out.copy_bits_from(slim, g.width, item_bits, items);
+    if (pool != nullptr) pool->recycle(std::move(slim));
+    return out;
+  }
+  bitvec out = make_row(pool, items + item_bits);
+  for (const bitvec& row : *g.rows) {
+    if (include_row(r, dense, rho)) {
+      out.xor_with(row);
+      *xor_words += out.words().size();
+    }
+  }
+  return out;
+}
+
+// The dense/sparse draw: full-span layouts coin over the single basis with
+// no group pick; generation layouts draw one uniform pick over the live
+// generations first (always consumed, even with one candidate — keeps the
+// draw stream identical to the historical generation coder).
+std::optional<bitvec> coin_emit(const decoder_strategy& dec, rng& r,
+                                word_arena* pool, std::uint64_t* xor_words,
+                                bool dense, double rho) {
+  dec.prepare_emit();
+  if (!dec.grouped()) {
+    const decoder_strategy::group_ref g = dec.group(0);
+    if (g.rows->empty()) return std::nullopt;
+    return combine_group(dec, g, r, pool, xor_words, dense, rho);
+  }
+  const std::size_t gc = dec.group_count();
+  std::size_t live = 0;
+  for (std::size_t gi = 0; gi < gc; ++gi) {
+    if (!dec.group(gi).rows->empty()) ++live;
+  }
+  if (live == 0) return std::nullopt;
+  std::size_t pick = r.below(live);
+  for (std::size_t gi = 0; gi < gc; ++gi) {
+    const decoder_strategy::group_ref g = dec.group(gi);
+    if (g.rows->empty()) continue;
+    if (pick-- == 0) {
+      return combine_group(dec, g, r, pool, xor_words, dense, rho);
+    }
+  }
+  NCDN_ASSERT(false);  // pick < live
+  return std::nullopt;
+}
+
+// --- encoder schedules ------------------------------------------------------
+
+class coin_schedule final : public encoder_schedule {
+ public:
+  coin_schedule(bool dense, double rho) : dense_(dense), rho_(rho) {}
+  std::optional<bitvec> emit(const decoder_strategy& dec, rng& r,
+                             word_arena* pool,
+                             std::uint64_t* xor_words) override {
+    return coin_emit(dec, r, pool, xor_words, dense_, rho_);
+  }
+
+ private:
+  bool dense_;
+  double rho_;
+};
+
+// Systematic first pass: the node's own seeded tokens go out uncoded, one
+// per round in seeding order, before the schedule switches permanently to
+// dense coded rows.  Receivers decode the uncoded head instantly instead
+// of waiting for full rank; the coded tail restores loss resilience.
+// Emitting an uncoded row costs no combination XORs (it is a copy, not a
+// sum) and consumes no draws.
+class systematic_schedule final : public encoder_schedule {
+ public:
+  bool wants_seed_notes() const override { return true; }
+  void note_seed(std::size_t index) override {
+    if (std::find(queue_.begin(), queue_.end(), index) == queue_.end()) {
+      queue_.push_back(index);
+    }
+  }
+
+  std::optional<bitvec> emit(const decoder_strategy& dec, rng& r,
+                             word_arena* pool,
+                             std::uint64_t* xor_words) override {
+    if (next_ < queue_.size()) {
+      const std::size_t i = queue_[next_++];
+      const std::size_t items = dec.items();
+      bitvec out = make_row(pool, items + dec.item_bits());
+      out.set(i);
+      // A pre-emission singleton insert keeps token i decodable forever
+      // (RREF singletons are stable), so this decode cannot fail.
+      const bitvec payload = dec.decode(i);
+      out.copy_bits_from(payload, 0, dec.item_bits(), items);
+      return out;
+    }
+    return coin_emit(dec, r, pool, xor_words, /*dense=*/true, 0.5);
+  }
+
+ private:
+  std::vector<std::size_t> queue_;  // seeded tokens, in seeding order
+  std::size_t next_ = 0;
+};
+
+// Feedback-scheduled generation pick: every received row carries the
+// sender's per-generation rank deficits (observe_feedback accumulates a
+// round's reports; the next emit consumes the batch).  The sender then
+// combines within the live generation carrying the largest reported
+// deficit (ties -> lowest index) instead of drawing uniformly; with no
+// positive deficit on record it falls back to the uniform dense pick.
+class feedback_schedule final : public encoder_schedule {
+ public:
+  bool wants_feedback() const override { return true; }
+  void observe_feedback(const std::vector<std::uint32_t>& deficits) override {
+    if (pending_.size() < deficits.size()) pending_.resize(deficits.size(), 0);
+    for (std::size_t gi = 0; gi < deficits.size(); ++gi) {
+      pending_[gi] += deficits[gi];
+    }
+    fresh_ = true;
+  }
+
+  std::optional<bitvec> emit(const decoder_strategy& dec, rng& r,
+                             word_arena* pool,
+                             std::uint64_t* xor_words) override {
+    dec.prepare_emit();
+    if (fresh_) {
+      active_ = pending_;
+      std::fill(pending_.begin(), pending_.end(), 0);
+      fresh_ = false;
+    }
+    const std::size_t gc = dec.group_count();
+    std::size_t live = 0;
+    std::size_t best = npos;
+    std::uint64_t best_deficit = 0;
+    for (std::size_t gi = 0; gi < gc; ++gi) {
+      if (dec.group(gi).rows->empty()) continue;
+      ++live;
+      const std::uint64_t d = gi < active_.size() ? active_[gi] : 0;
+      if (d > best_deficit) {
+        best_deficit = d;
+        best = gi;
+      }
+    }
+    if (live == 0) return std::nullopt;
+    if (best != npos) {
+      return combine_group(dec, dec.group(best), r, pool, xor_words,
+                           /*dense=*/true, 0.5);
+    }
+    std::size_t pick = r.below(live);
+    for (std::size_t gi = 0; gi < gc; ++gi) {
+      const decoder_strategy::group_ref g = dec.group(gi);
+      if (g.rows->empty()) continue;
+      if (pick-- == 0) {
+        return combine_group(dec, g, r, pool, xor_words, /*dense=*/true, 0.5);
+      }
+    }
+    NCDN_ASSERT(false);
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::uint64_t> pending_;  // reports since the last emit
+  std::vector<std::uint64_t> active_;   // the batch steering this emit
+  bool fresh_ = false;
+};
+
+// --- the composed coder -----------------------------------------------------
+
+class matrix_coder final : public node_coder {
+ public:
+  matrix_coder(std::unique_ptr<decoder_strategy> dec,
+               std::unique_ptr<encoder_schedule> sched)
+      : dec_(std::move(dec)), sched_(std::move(sched)) {}
+
+  void insert(const bitvec& row) override {
+    if (!emitted_ && sched_->wants_seed_notes()) {
+      // Pre-emission inserts are the node's own seeds; a singleton
+      // coefficient row names the token it carries.
+      const std::size_t lo = row.first_set();
+      if (lo < dec_->items() && row.popcount_below(dec_->items()) == 1) {
+        sched_->note_seed(lo);
+      }
+    }
+    dec_->insert(row);
+  }
+
+  std::optional<bitvec> make_combination(rng& r, word_arena* pool) override {
+    emitted_ = true;
+    return sched_->emit(*dec_, r, pool, &emit_xors_);
+  }
+
+  std::size_t rank() const override { return dec_->rank(); }
+  bool complete() const override { return dec_->complete(); }
+  bool can_decode(std::size_t i) const override {
+    return dec_->can_decode(i);
+  }
+  bitvec decode(std::size_t i) const override { return dec_->decode(i); }
+  std::size_t decode_progress() const override {
+    return dec_->decode_progress();
+  }
+  std::uint64_t xor_word_ops() const override {
+    return dec_->xor_word_ops() + emit_xors_;
+  }
+
+  const std::vector<std::uint32_t>* deficit_report() override {
+    if (!sched_->wants_feedback()) return nullptr;
+    dec_->prepare_emit();
+    const std::size_t gc = dec_->group_count();
+    report_.assign(gc, 0);
+    for (std::size_t gi = 0; gi < gc; ++gi) {
+      const decoder_strategy::group_ref g = dec_->group(gi);
+      const std::size_t have = g.rows->size();
+      report_[gi] =
+          static_cast<std::uint32_t>(g.width > have ? g.width - have : 0);
+    }
+    return &report_;
+  }
+  void observe_feedback(const std::vector<std::uint32_t>& deficits) override {
+    sched_->observe_feedback(deficits);
+  }
+
+ private:
+  std::unique_ptr<decoder_strategy> dec_;
+  std::unique_ptr<encoder_schedule> sched_;
+  std::vector<std::uint32_t> report_;  // deficit_report's refresh buffer
+  std::uint64_t emit_xors_ = 0;
+  bool emitted_ = false;
+};
+
+std::string recognized(const std::vector<matrix_axis_info>& axis) {
+  std::string out;
+  for (const matrix_axis_info& info : axis) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
+}
+
+class matrix_backend final : public coding_backend {
+ public:
+  explicit matrix_backend(matrix_spec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override {
+    const bool grouped = spec_.gen_size >= 1;
+    // Default cells keep the historical backend names the shims promised.
+    if (!grouped && spec_.sched == "dense" && spec_.dec == "rref") {
+      return "dense";
+    }
+    if (!grouped && spec_.sched == "sparse" && spec_.dec == "rref") {
+      return "sparse";
+    }
+    if (grouped && spec_.sched == "dense" && spec_.dec == "banded") {
+      return "generation";
+    }
+    return "sched:" + spec_.sched + "/dec:" + spec_.dec;
+  }
+
+  std::unique_ptr<node_coder> make_node_coder(
+      std::size_t items, std::size_t item_bits) const override {
+    std::unique_ptr<decoder_strategy> dec;
+    if (spec_.gen_size == 0) {
+      dec = std::make_unique<span_strategy>(items, item_bits);
+    } else {
+      dec = std::make_unique<grouped_strategy>(items, item_bits,
+                                               spec_.gen_size,
+                                               spec_.band_overlap,
+                                               spec_.dec == "banded");
+    }
+    std::unique_ptr<encoder_schedule> sched;
+    if (spec_.sched == "dense") {
+      sched = std::make_unique<coin_schedule>(/*dense=*/true, 0.5);
+    } else if (spec_.sched == "sparse") {
+      sched = std::make_unique<coin_schedule>(/*dense=*/false, spec_.rho);
+    } else if (spec_.sched == "systematic") {
+      sched = std::make_unique<systematic_schedule>();
+    } else {
+      sched = std::make_unique<feedback_schedule>();
+    }
+    return std::make_unique<matrix_coder>(std::move(dec), std::move(sched));
+  }
+
+ private:
+  matrix_spec spec_;
+};
+
+}  // namespace
+
+const std::vector<matrix_axis_info>& encoder_schedules() {
+  static const std::vector<matrix_axis_info> axis = {
+      {"dense", "coin per basis row over the whole received span (default)"},
+      {"sparse", "Bernoulli(rho) per basis row; fewer XORs, more rounds"},
+      {"systematic",
+       "own tokens go out uncoded first, then dense coded rows"},
+      {"feedback",
+       "generation pick steered by neighbors' reported rank deficits "
+       "(generation layouts only)"},
+  };
+  return axis;
+}
+
+const std::vector<matrix_axis_info>& decoder_strategies() {
+  static const std::vector<matrix_axis_info> axis = {
+      {"rref", "generic gf2 elimination at full wire width (default)"},
+      {"banded",
+       "banded-pivot elimination: narrow rows, pivots confined to the g+w "
+       "window (generation layouts only)"},
+  };
+  return axis;
+}
+
+std::unique_ptr<coding_backend> make_matrix_backend(const matrix_spec& spec) {
+  bool sched_known = false;
+  for (const matrix_axis_info& info : encoder_schedules()) {
+    if (spec.sched == info.name) sched_known = true;
+  }
+  if (!sched_known) {
+    throw std::invalid_argument("ncdn: unknown encoder schedule '" +
+                                spec.sched + "' (recognized: " +
+                                recognized(encoder_schedules()) + ")");
+  }
+  bool dec_known = false;
+  for (const matrix_axis_info& info : decoder_strategies()) {
+    if (spec.dec == info.name) dec_known = true;
+  }
+  if (!dec_known) {
+    throw std::invalid_argument("ncdn: unknown decoder strategy '" +
+                                spec.dec + "' (recognized: " +
+                                recognized(decoder_strategies()) + ")");
+  }
+  if (spec.gen_size == 0 && spec.dec == "banded") {
+    throw std::invalid_argument(
+        "ncdn: dec=banded needs a generation layout (rlnc-gen); recognized "
+        "dec values for full-span layouts: rref");
+  }
+  if (spec.gen_size == 0 && spec.sched == "feedback") {
+    throw std::invalid_argument(
+        "ncdn: sched=feedback needs a generation layout (rlnc-gen); "
+        "recognized sched values for full-span layouts: dense, sparse, "
+        "systematic");
+  }
+  if (spec.sched == "sparse" && !(spec.rho > 0.0 && spec.rho <= 1.0)) {
+    throw std::invalid_argument("ncdn: sched=sparse needs rho in (0, 1]");
+  }
+  if (spec.gen_size >= 1 && spec.band_overlap > spec.gen_size) {
+    throw std::invalid_argument(
+        "ncdn: generation layouts need band_overlap <= gen_size");
+  }
+  return std::make_unique<matrix_backend>(spec);
+}
+
+}  // namespace ncdn

@@ -51,6 +51,14 @@ struct round_metrics {
   // the round it first appears.
   std::uint64_t elimination_xors = 0;
 
+  // Decode-delay accounting (coded sessions only; decode_delay_active
+  // false for token-forwarding protocols).  newly_decodable counts the
+  // (node, token) pairs that first became decodable this round — the
+  // session folds the view's cumulative delay histogram into per-round
+  // deltas the same way it diffs coding_work.
+  bool decode_delay_active = false;
+  std::uint64_t newly_decodable = 0;
+
   // Channel accounting (src/linkmodel), zero with link_active false under
   // the reliable default.  Counts are directed copies: one (sender ->
   // receiver) traversal each, so a broadcast reaching 3 neighbours is 3
@@ -118,6 +126,17 @@ struct session_metrics {
   std::size_t final_total_knowledge = 0;
   std::size_t final_tokens_retired = 0;
   std::uint64_t total_elimination_xors = 0;  // summed round elimination_xors
+
+  // Decode-delay distribution over (node, token) pairs: how many rounds
+  // after its session-relative start each pair first became decodable
+  // (bucket 0 = seeded / decodable before any communication).  Only coded
+  // runs report it; percentiles are integer nearest-rank over pairs.
+  bool decode_delay_active = false;
+  std::uint64_t decode_delay_events = 0;        // pairs that became decodable
+  std::vector<std::uint64_t> decode_delay_hist; // bucket = delay in rounds
+  std::size_t decode_delay_p50 = 0;
+  std::size_t decode_delay_p90 = 0;
+  std::size_t decode_delay_max = 0;
 
   // Channel aggregates (zero / empty without a link model).  The
   // conservation invariant holds at every observed round: total sent ==

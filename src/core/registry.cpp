@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "coding/backend.hpp"
+#include "coding/matrix.hpp"
 #include "protocols/centralized.hpp"
 #include "protocols/flooding.hpp"
 #include "protocols/greedy_forward.hpp"
@@ -287,10 +288,18 @@ std::unique_ptr<protocol_machine> coded_broadcast_factory(
 // re-instantiation of the versioned-content driver (`coded_plan`).  The
 // read order matches the historical entries exactly.
 coded_backend_plan rlnc_direct_plan(const problem&, param_reader& params) {
+  // Full-span matrix cell; sched=/dec= open the (encoder schedule x
+  // decoder strategy) matrix of coding/matrix.hpp.  Defaults reproduce
+  // the historical dense entry bit-for-bit.
+  matrix_spec spec;
+  spec.sched = params.str("sched", "dense");
+  spec.dec = params.str("dec", "rref");
+  if (spec.sched == "sparse") spec.rho = params.real("rho", 0.2);
+  make_matrix_backend(spec);  // validate the combo at parse time
   const double cap_factor = params.real("cap_factor", 16.0);
   coded_backend_plan plan;
-  plan.make_backend = maybe_buffered(params, "rlnc-direct",
-                                     [] { return make_dense_backend(); });
+  plan.make_backend = maybe_buffered(
+      params, "rlnc-direct", [spec] { return make_matrix_backend(spec); });
   // Whp bound is O(n + k); the cap only guards the 2^-n tail.
   plan.cap = [cap_factor](std::size_t n, std::size_t k) {
     return static_cast<round_t>(cap_factor * static_cast<double>(n + k)) + 64;
@@ -303,13 +312,18 @@ coded_backend_plan rlnc_sparse_plan(const problem&, param_reader& params) {
   if (!(rho > 0.0 && rho <= 1.0)) {
     throw std::invalid_argument("ncdn: rlnc-sparse needs rho in (0, 1]");
   }
+  matrix_spec spec;
+  spec.sched = params.str("sched", "sparse");
+  spec.dec = params.str("dec", "rref");
+  spec.rho = rho;
+  make_matrix_backend(spec);  // validate the combo at parse time
   const double cap_factor = params.real("cap_factor", 16.0);
   // Per-round mixing slows by roughly rho / (1/2); widen the Las-Vegas cap
   // accordingly so small densities still finish.
   const double stretch = std::max(1.0, 0.5 / rho);
   coded_backend_plan plan;
   plan.make_backend = maybe_buffered(
-      params, "rlnc-sparse", [rho] { return make_sparse_backend(rho); });
+      params, "rlnc-sparse", [spec] { return make_matrix_backend(spec); });
   plan.cap = [cap_factor, stretch](std::size_t n, std::size_t k) {
     return static_cast<round_t>(cap_factor * stretch *
                                 static_cast<double>(n + k)) +
@@ -329,12 +343,17 @@ coded_backend_plan rlnc_gen_plan(const problem&, param_reader& params) {
     throw std::invalid_argument("ncdn: rlnc-gen needs band_overlap <= "
                                 "gen_size");
   }
+  matrix_spec spec;
+  spec.sched = params.str("sched", "dense");
+  spec.dec = params.str("dec", "banded");
+  spec.gen_size = gen_size;
+  spec.band_overlap = overlap;
+  if (spec.sched == "sparse") spec.rho = params.real("rho", 0.2);
+  make_matrix_backend(spec);  // validate the combo at parse time
   const double cap_factor = params.real("cap_factor", 16.0);
   coded_backend_plan plan;
-  plan.make_backend =
-      maybe_buffered(params, "rlnc-gen", [gen_size, overlap] {
-        return make_generation_backend(gen_size, overlap);
-      });
+  plan.make_backend = maybe_buffered(
+      params, "rlnc-gen", [spec] { return make_matrix_backend(spec); });
   plan.cap = [cap_factor, gen_size, overlap](std::size_t n, std::size_t k) {
     // Bandwidth splits across G generations; each needs its own
     // O(n + g + w) broadcast worth of rounds.

@@ -266,12 +266,40 @@ void session::collect(const round_digest& digest) {
     last_work_view_id_ = id;
     last_work_ = w;
     metrics_.total_elimination_xors += scratch_.elimination_xors;
+
+    // Decode-delay delta, same cumulative-per-view discipline.  Coded
+    // views expose a histogram of (node, token) first-decodable rounds;
+    // this round's newly decodable pairs are the bucket-wise diff against
+    // the last snapshot of the same view.  Tracked under its own view-id
+    // key so the fold stays independent of the work delta above.
+    const auto* delays = digest.view->decode_delays();
+    scratch_.decode_delay_active = delays != nullptr;
+    scratch_.newly_decodable = 0;
+    if (delays != nullptr) {
+      metrics_.decode_delay_active = true;
+      const bool fresh = id != last_delay_view_id_;
+      if (metrics_.decode_delay_hist.size() < delays->size()) {
+        metrics_.decode_delay_hist.resize(delays->size());
+      }
+      for (std::size_t b = 0; b < delays->size(); ++b) {
+        const std::uint64_t prev =
+            (fresh || b >= last_delay_hist_.size()) ? 0 : last_delay_hist_[b];
+        const std::uint64_t d = (*delays)[b] - prev;
+        scratch_.newly_decodable += d;
+        metrics_.decode_delay_hist[b] += d;
+      }
+      metrics_.decode_delay_events += scratch_.newly_decodable;
+      last_delay_hist_ = *delays;
+      last_delay_view_id_ = id;
+    }
   } else {
     // Silent round: nothing can change while everyone stays quiet, so
     // scratch_ keeps the previous round's knowledge snapshot and
     // aggregates untouched — long T-stable waits stay O(1) per round, not
     // O(n).  No elimination happens either.
     scratch_.elimination_xors = 0;
+    scratch_.decode_delay_active = false;
+    scratch_.newly_decodable = 0;
   }
 
   // Traffic conservation, per round: at most one message per node, and
@@ -361,6 +389,31 @@ void session::finish(protocol_result res) {
     retired += state_->known_count(u) - state_->remaining_count(u);
   }
   metrics_.final_tokens_retired = retired;
+
+  // Decode-delay percentiles: integer nearest-rank over the (node, token)
+  // pair population the histogram buckets (index = delay in rounds).
+  if (metrics_.decode_delay_active && metrics_.decode_delay_events > 0) {
+    const std::uint64_t pairs = metrics_.decode_delay_events;
+    const std::uint64_t i50 = (50 * (pairs - 1)) / 100;
+    const std::uint64_t i90 = (90 * (pairs - 1)) / 100;
+    std::uint64_t cum = 0;
+    bool have50 = false;
+    bool have90 = false;
+    for (std::size_t b = 0; b < metrics_.decode_delay_hist.size(); ++b) {
+      const std::uint64_t c = metrics_.decode_delay_hist[b];
+      if (c == 0) continue;
+      cum += c;
+      if (!have50 && cum > i50) {
+        metrics_.decode_delay_p50 = b;
+        have50 = true;
+      }
+      if (!have90 && cum > i90) {
+        metrics_.decode_delay_p90 = b;
+        have90 = true;
+      }
+      metrics_.decode_delay_max = b;
+    }
+  }
 
   if (content_.active) {
     // Bytes-on-wire is the session's own traffic aggregate; everything

@@ -156,6 +156,11 @@ class session {
   // view's storage cannot inherit its counter.
   std::uint64_t last_work_view_id_ = 0;  // 0 = none yet
   std::uint64_t last_work_ = 0;
+  // Decode-delay delta tracking: the view's histogram is cumulative, so
+  // per-round newly_decodable is the bucket-wise diff against the last
+  // snapshot of the same view (fresh views start from zero).
+  std::uint64_t last_delay_view_id_ = 0;  // 0 = none yet
+  std::vector<std::uint64_t> last_delay_hist_;
   session_metrics metrics_;
   run_report report_;
   bool finished_ = false;

@@ -43,6 +43,15 @@ class knowledge_view {
   /// their decoders' counters; state with no elimination cost reports 0.
   virtual std::uint64_t coding_work() const { return 0; }
 
+  /// Per-token decode-delay histogram behind this view, or nullptr for
+  /// views with no decode surface.  Index = rounds from the view's first
+  /// round until a (node, token) pair first became decodable (seeds land
+  /// in bucket 0); value = count of such pairs.  Cumulative per view —
+  /// the session diffs snapshots keyed on view_id, like coding_work.
+  virtual const std::vector<std::uint64_t>* decode_delays() const {
+    return nullptr;
+  }
+
   /// Process-unique identity (never 0).  The session keys its coding_work
   /// deltas on this rather than the address: a protocol phase's fresh view
   /// allocated where a freed one lived must not inherit its counter.

@@ -66,13 +66,20 @@ class bit_decoder {
       if (rows_[i].get(p)) {
         rows_[i].xor_with(row);
         xor_words_ += w;
+        // Back-substitution can strip a row down to its pivot alone; a
+        // singleton never loses that status (no later row carries its
+        // pivot column), so counting the 0 -> 1 transitions here keeps
+        // decodable_count() exact in O(coeff words) per touched row.
+        if (rows_[i].popcount_below(coeff_dim_) == 1) ++decodable_;
       }
     }
+    if (row.popcount_below(coeff_dim_) == 1) ++decodable_;
     NCDN_AUDIT(pivot_row_[p] == npos);  // pivot columns are claimed once
     pivot_row_[p] = rows_.size();
     rows_.push_back(std::move(row));
     pivots_.push_back(p);
     NCDN_AUDIT(audit_rref());
+    NCDN_AUDIT(audit_decodable());
     return true;
   }
 
@@ -152,6 +159,12 @@ class bit_decoder {
 
   const std::vector<bitvec>& basis() const noexcept { return rows_; }
 
+  /// Number of tokens currently decodable (singleton RREF rows).
+  /// Maintained incrementally by insert — O(1) to read, monotone, and
+  /// == coeff_dim iff complete() — so per-round decode-delay accounting
+  /// never scans the basis.
+  std::size_t decodable_count() const noexcept { return decodable_; }
+
   /// Cumulative 64-bit XOR word-operations spent in Gaussian elimination
   /// (insert) and combination generation — the decode-cost axis the sparse
   /// and generation backends trade rounds against.
@@ -164,6 +177,7 @@ class bit_decoder {
     pivots_.clear();
     pivot_row_.assign(coeff_dim, npos);
     xor_words_ = 0;
+    decodable_ = 0;
   }
 
  private:
@@ -184,11 +198,22 @@ class bit_decoder {
     return true;
   }
 
+  /// Audit rebuild of the incremental decodable counter: the per-column
+  /// can_decode scan must agree with the transition counting in insert.
+  bool audit_decodable() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < coeff_dim_; ++i) {
+      if (can_decode(i)) ++count;
+    }
+    return count == decodable_;
+  }
+
   std::size_t coeff_dim_ = 0;
   std::size_t payload_bits_ = 0;
   std::vector<bitvec> rows_;      // maintained in RREF (unordered by pivot)
   std::vector<std::size_t> pivots_;
   std::vector<std::size_t> pivot_row_;  // pivot column -> index into rows_
+  std::size_t decodable_ = 0;     // singleton rows (decodable tokens)
   mutable std::uint64_t xor_words_ = 0;  // stats only; const combiners count
 };
 

@@ -40,19 +40,32 @@ round_task<protocol_result> centralized_rlnc_machine(
       decoders[u].insert(std::move(row));
     }
   }
+  // Decode-delay accounting: initial holdings are bucket-0 decodables.
+  decode_delay_tracker delays;
+  delays.reset(n);
+  for (node_id u = 0; u < n; ++u) {
+    delays.note(u, decoders[u].decodable_count(), 0);
+  }
+
   // Knowledge view over ranks for adaptive adversaries.
   class rank_view final : public knowledge_view {
    public:
-    explicit rank_view(const std::vector<bit_decoder>& d) : d_(&d) {}
+    rank_view(const std::vector<bit_decoder>& d,
+              const decode_delay_tracker& t)
+        : d_(&d), delays_(&t) {}
     std::size_t node_count() const override { return d_->size(); }
     std::size_t knowledge(node_id u) const override {
       return (*d_)[u].rank();
     }
+    const std::vector<std::uint64_t>* decode_delays() const override {
+      return &delays_->hist;
+    }
 
    private:
     const std::vector<bit_decoder>* d_;
+    const decode_delay_tracker* delays_;
   };
-  rank_view view(decoders);
+  rank_view view(decoders, delays);
 
   auto all_complete = [&]() {
     return std::all_of(decoders.begin(), decoders.end(),
@@ -65,6 +78,7 @@ round_task<protocol_result> centralized_rlnc_machine(
       cfg.cap_factor *
       static_cast<double>(n + ceil_div(k * d, cfg.b_bits) + 1));
 
+  delays.start(start);
   while (!all_complete() && net.rounds_elapsed() - start < cap) {
     net.step<genie_msg>(
         view,
@@ -80,9 +94,12 @@ round_task<protocol_result> centralized_rlnc_machine(
           return m;
         },
         [&](node_id u, const std::vector<const genie_msg*>& inbox) {
+          if (inbox.empty()) return;
           for (const genie_msg* m : inbox) {
             for (const bitvec& row : m->rows) decoders[u].insert(row);
           }
+          delays.note(u, decoders[u].decodable_count(),
+                      delays.bucket(net.rounds_elapsed() + 1));
         });
     co_await next_round;
   }

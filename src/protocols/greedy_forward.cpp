@@ -111,7 +111,7 @@ round_task<protocol_result> greedy_forward_machine(
       }
       std::vector<std::size_t> decoded_tokens;
       for (std::size_t i = 0; i < k_items; ++i) {
-        const bitvec block = session.decoder(u).decode(i);
+        const bitvec block = session.decode(u, i);
         for (std::size_t j = 0; j < budget.tokens_per_item; ++j) {
           const bitvec payload = block.slice(j * d, d);
           if (!payload.any()) continue;  // padding

@@ -244,7 +244,7 @@ round_task<priority_forward_result> priority_forward_machine(
       }
       std::vector<std::size_t> decoded;
       for (std::size_t i = 0; i < s; ++i) {
-        const bitvec block = session.decoder(u).decode(i);
+        const bitvec block = session.decode(u, i);
         for (std::size_t j = 0; j < g; ++j) {
           const bitvec payload = block.slice(j * d, d);
           if (!payload.any()) continue;  // padding

@@ -9,7 +9,10 @@ rlnc_session::rlnc_session(std::size_t n, std::size_t items,
 rlnc_session::rlnc_session(std::size_t n, std::size_t items,
                            std::size_t item_bits,
                            std::unique_ptr<coding_backend> backend)
-    : items_(items), item_bits_(item_bits), backend_(std::move(backend)) {
+    : items_(items),
+      item_bits_(item_bits),
+      backend_(std::move(backend)),
+      progress_(n, 0) {
   NCDN_EXPECTS(items >= 1);
   NCDN_EXPECTS(item_bits >= 1);
   NCDN_EXPECTS(backend_ != nullptr);
@@ -27,6 +30,7 @@ void rlnc_session::seed(node_id u, std::size_t index, const bitvec& payload) {
   row.set(index);
   row.copy_bits_from(payload, 0, item_bits_, items_);
   coders_[u]->insert(row);
+  note_progress(u);
 }
 
 round_t rlnc_session::run(network& net, round_t max_rounds, bool stop_early) {
@@ -39,15 +43,25 @@ round_task<round_t> rlnc_session::run_stepped(network& net,
   round_t used = 0;
   for (; used < max_rounds; ++used) {
     if (stop_early && all_complete()) break;
+    ++delay_round_;  // arrivals this round land in the next delay bucket
     net.step<coded_msg>(
         *this,
         [&](node_id u, rng& r) -> std::optional<coded_msg> {
           auto combo = coders_[u]->make_combination(r, arena_);
           if (!combo) return std::nullopt;
-          return coded_msg{std::move(*combo)};
+          coded_msg m{std::move(*combo), {}};
+          if (const auto* fb = coders_[u]->deficit_report()) m.feedback = *fb;
+          return m;
         },
         [&](node_id u, const std::vector<const coded_msg*>& inbox) {
-          for (const coded_msg* m : inbox) coders_[u]->insert(m->row);
+          if (inbox.empty()) return;
+          for (const coded_msg* m : inbox) {
+            if (!m->feedback.empty()) {
+              coders_[u]->observe_feedback(m->feedback);
+            }
+            coders_[u]->insert(m->row);
+          }
+          note_progress(u);
         });
     co_await next_round;
   }
@@ -59,6 +73,33 @@ bool rlnc_session::all_complete() const {
     if (!c->complete()) return false;
   }
   return true;
+}
+
+void rlnc_session::note_progress(node_id u) {
+  const std::size_t p = coders_[u]->decode_progress();
+  const std::size_t delta = p - progress_[u];
+  NCDN_AUDIT(audit_delay_flips(u, delta));  // delta == can_decode flips
+  if (delta == 0) return;
+  if (delay_hist_.size() <= delay_round_) delay_hist_.resize(delay_round_ + 1);
+  delay_hist_[delay_round_] += delta;
+  progress_[u] = p;
+}
+
+bool rlnc_session::audit_delay_flips(node_id u, std::size_t delta) {
+  if (audit_decodable_.empty()) audit_decodable_.resize(coders_.size());
+  auto& snap = audit_decodable_[u];
+  if (snap.empty()) snap.assign(items_, 0);
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < items_; ++i) {
+    const bool now = coders_[u]->can_decode(i);
+    if (now && snap[i] == 0) {
+      ++flips;
+      snap[i] = 1;
+    } else if (!now && snap[i] != 0) {
+      return false;  // decodability regressed — never legal
+    }
+  }
+  return flips == delta;
 }
 
 }  // namespace ncdn

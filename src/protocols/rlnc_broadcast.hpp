@@ -23,9 +23,13 @@
 
 namespace ncdn {
 
-/// A coded GF(2) message: the row [coefficients | payload].
+/// A coded GF(2) message: the row [coefficients | payload].  Matrix cells
+/// with sched=feedback piggyback the sender's per-generation rank deficits
+/// on every row (empty otherwise); the control plane is modeled as
+/// zero-bit, so bit_size stays the row alone.
 struct coded_msg {
   bitvec row;
+  std::vector<std::uint32_t> feedback;
   std::size_t bit_size() const noexcept { return row.size(); }
   /// Round-teardown hook (dynnet/network.hpp): returns the row's storage
   /// to the session arena once every receiver has consumed its copy.
@@ -75,12 +79,10 @@ class rlnc_session final : public knowledge_view {
     return coders_[u]->decode(i);
   }
 
-  /// The node's full-span decoder; only the backends that keep one (dense,
-  /// sparse) support this — generation coding trips the contract.
-  const bit_decoder& decoder(node_id u) const {
-    const bit_decoder* d = coders_[u]->dense_decoder();
-    NCDN_EXPECTS(d != nullptr);
-    return *d;
+  /// Tokens node u can decode right now (monotone, backend-independent;
+  /// == items() iff node_complete(u)).
+  std::size_t decode_progress(node_id u) const {
+    return coders_[u]->decode_progress();
   }
 
   /// Cumulative elimination/combination XOR word-ops across all nodes.
@@ -98,13 +100,36 @@ class rlnc_session final : public knowledge_view {
     return coders_[u]->rank();
   }
   std::uint64_t coding_work() const override { return xor_word_ops(); }
+  /// Decode-delay histogram: bucket = session-local round a (node, token)
+  /// pair first became decodable (seeds in bucket 0), value = pair count.
+  const std::vector<std::uint64_t>* decode_delays() const override {
+    return &delay_hist_;
+  }
 
  private:
+  /// Folds node u's decode-progress delta into the delay histogram at the
+  /// current round bucket.  Called after every insert batch (seeding and
+  /// round delivery) — the only places progress can move.
+  void note_progress(node_id u);
+  /// Audit rebuild (NCDN_AUDIT): the recorded delta must equal the number
+  /// of per-token can_decode flips since the last observation, and flips
+  /// only ever go false -> true.  Mutates audit-only snapshot state; never
+  /// called in release builds.
+  bool audit_delay_flips(node_id u, std::size_t delta);
+
   std::size_t items_;
   std::size_t item_bits_;
   std::unique_ptr<coding_backend> backend_;
   std::vector<std::unique_ptr<node_coder>> coders_;
   word_arena* arena_ = nullptr;
+
+  // Decode-delay accounting (tail latency, Costa et al.): when did each
+  // (node, token) pair first become decodable?  Tracked as monotone
+  // decode_progress deltas — O(n) per round, no per-token scans.
+  std::vector<std::size_t> progress_;       // last observed per-node count
+  std::vector<std::uint64_t> delay_hist_;   // bucket = session-local round
+  round_t delay_round_ = 0;                 // rounds stepped so far
+  std::vector<std::vector<char>> audit_decodable_;  // audit-only snapshots
 };
 
 /// Generic-field variant (field-size sweeps, §6 derandomization).  Payload

@@ -276,7 +276,7 @@ round_task<tstable_result> patch_gather_machine(network& net, token_state& st,
       }
       std::vector<std::size_t> decoded;
       for (std::size_t i = 0; i < selected.size(); ++i) {
-        const bitvec block = session.decoder(u).decode(i);
+        const bitvec block = session.decode(u, i);
         for (std::size_t j = 0; j < cap_tokens; ++j) {
           const bitvec payload = block.slice(j * d, d);
           if (!payload.any()) continue;
@@ -412,7 +412,7 @@ round_task<tstable_result> tstable_machine(network& net, token_state& st,
           continue;
         }
         for (std::size_t i = 0; i < k_items; ++i) {
-          const bitvec block = session.decoder(u).decode(i);
+          const bitvec block = session.decode(u, i);
           for (std::size_t j = 0; j < sizing.tokens_per_item; ++j) {
             const bitvec payload = block.slice(j * d, d);
             if (!payload.any()) continue;

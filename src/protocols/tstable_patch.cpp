@@ -123,6 +123,7 @@ tstable_patch_session::tstable_patch_session(const patch_plan& plan)
     : plan_(plan),
       decoders_(plan.n, bit_decoder(plan.items, plan.item_bits)) {
   NCDN_EXPECTS(plan.n >= 2);
+  delays_.reset(plan.n);
 }
 
 void tstable_patch_session::seed(node_id u, std::size_t index,
@@ -134,6 +135,7 @@ void tstable_patch_session::seed(node_id u, std::size_t index,
   row.set(index);
   row.copy_bits_from(payload, 0, plan_.item_bits, plan_.items);
   decoders_[u].insert(std::move(row));
+  delays_.note(u, decoders_[u].decodable_count(), 0);
 }
 
 bool tstable_patch_session::all_complete() const {
@@ -454,6 +456,8 @@ round_task<void> tstable_patch_session::share_stepped(network& net,
   for (node_id u = 0; u < n; ++u) {
     NCDN_ASSERT(wp.got_chunks[u] == static_cast<std::uint32_t>(t_vec));
     decoders_[u].insert(wp.patch_sum[u]);
+    delays_.note(u, decoders_[u].decodable_count(),
+                 delays_.bucket(net.rounds_elapsed()));
   }
 }
 
@@ -498,6 +502,8 @@ round_task<void> tstable_patch_session::pass_stepped(network& net,
   }
   for (node_id u = 0; u < n; ++u) {
     for (auto& [from, row] : inbox_vec[u]) decoders_[u].insert(row);
+    delays_.note(u, decoders_[u].decodable_count(),
+                 delays_.bucket(net.rounds_elapsed()));
   }
 }
 
@@ -515,6 +521,7 @@ round_task<round_t> tstable_patch_session::run_stepped(network& net,
                                                        bool stop_early) {
   NCDN_EXPECTS(plan_.feasible);
   const round_t start = net.rounds_elapsed();
+  delays_.start(start);
   const round_t t = plan_.t_window;
 
   while (net.rounds_elapsed() - start < max_rounds) {
@@ -560,6 +567,7 @@ chunked_meta_session::chunked_meta_session(std::size_t n, std::size_t b_bits,
   item_bits_ = std::max<std::size_t>(1, vec_bits - items_);
   if (items_cap != 0) items_ = std::min(items_, items_cap);
   decoders_.assign(n, bit_decoder(items_, item_bits_));
+  delays_.reset(n);
 }
 
 void chunked_meta_session::seed(node_id u, std::size_t index,
@@ -571,6 +579,7 @@ void chunked_meta_session::seed(node_id u, std::size_t index,
   row.set(index);
   row.copy_bits_from(payload, 0, item_bits_, items_);
   decoders_[u].insert(std::move(row));
+  delays_.note(u, decoders_[u].decodable_count(), 0);
 }
 
 bool chunked_meta_session::all_complete() const {
@@ -593,6 +602,7 @@ round_task<round_t> chunked_meta_session::run_stepped(network& net,
   const std::size_t tag_bits =
       bits_for(static_cast<std::uint64_t>(t_vec_) + 1) + bits_for(n) + 2;
   const round_t start = net.rounds_elapsed();
+  delays_.start(start);
 
   while (net.rounds_elapsed() - start < max_rounds) {
     if (stop_early && all_complete()) break;
@@ -664,6 +674,8 @@ round_task<round_t> chunked_meta_session::run_stepped(network& net,
           decoders_[u].insert(p.row);
         }
       }
+      delays_.note(u, decoders_[u].decodable_count(),
+                   delays_.bucket(net.rounds_elapsed()));
     }
   }
   co_return net.rounds_elapsed() - start;

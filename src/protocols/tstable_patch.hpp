@@ -32,6 +32,7 @@
 #include "core/machine.hpp"
 #include "dynnet/network.hpp"
 #include "linalg/decoder.hpp"
+#include "protocols/common.hpp"
 
 namespace ncdn {
 
@@ -98,7 +99,12 @@ class tstable_patch_session final : public knowledge_view {
 
   bool all_complete() const;
   bool node_complete(node_id u) const { return decoders_[u].complete(); }
-  const bit_decoder& decoder(node_id u) const { return decoders_[u]; }
+  bool can_decode(node_id u, std::size_t i) const {
+    return decoders_[u].can_decode(i);
+  }
+  bitvec decode(node_id u, std::size_t i) const {
+    return decoders_[u].decode(i);
+  }
 
   /// Diagnostics for tests/benches.
   std::size_t windows_run() const noexcept { return windows_; }
@@ -107,6 +113,9 @@ class tstable_patch_session final : public knowledge_view {
   std::size_t node_count() const override { return decoders_.size(); }
   std::size_t knowledge(node_id u) const override {
     return decoders_[u].rank();
+  }
+  const std::vector<std::uint64_t>* decode_delays() const override {
+    return &delays_.hist;
   }
 
  private:
@@ -117,6 +126,7 @@ class tstable_patch_session final : public knowledge_view {
 
   patch_plan plan_;
   std::vector<bit_decoder> decoders_;
+  decode_delay_tracker delays_;
   std::size_t windows_ = 0;
   std::size_t patch_failures_ = 0;
 };
@@ -147,11 +157,19 @@ class chunked_meta_session final : public knowledge_view {
 
   bool all_complete() const;
   bool node_complete(node_id u) const { return decoders_[u].complete(); }
-  const bit_decoder& decoder(node_id u) const { return decoders_[u]; }
+  bool can_decode(node_id u, std::size_t i) const {
+    return decoders_[u].can_decode(i);
+  }
+  bitvec decode(node_id u, std::size_t i) const {
+    return decoders_[u].decode(i);
+  }
 
   std::size_t node_count() const override { return decoders_.size(); }
   std::size_t knowledge(node_id u) const override {
     return decoders_[u].rank();
+  }
+  const std::vector<std::uint64_t>* decode_delays() const override {
+    return &delays_.hist;
   }
 
  private:
@@ -161,6 +179,7 @@ class chunked_meta_session final : public knowledge_view {
   std::size_t items_;
   std::size_t item_bits_;
   std::vector<bit_decoder> decoders_;
+  decode_delay_tracker delays_;
 };
 
 }  // namespace ncdn

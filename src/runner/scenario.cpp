@@ -43,6 +43,15 @@ std::string spec_segment(const char* name, const char* variant) {
   return s;
 }
 
+param_map merged(const param_map& base, const param_map& extra) {
+  param_map out = base;
+  for (const auto& [key, value] : extra) {
+    NCDN_ASSERT(out.count(key) == 0);  // pinned axes must stay disjoint
+    out[key] = value;
+  }
+  return out;
+}
+
 std::vector<scenario> build_registry() {
   // The adversary axis.  The first block is the full-connectivity
   // families (every protocol crosses them); the churn block only pairs
@@ -345,6 +354,112 @@ std::vector<scenario> build_registry() {
                std::to_string(row.n);
       out.push_back(std::move(s));
     }
+  }
+
+  // Encoder-schedule x decoder-strategy cells (PR10): the coding/matrix
+  // axes behind the rlnc-* sched=/dec= params.  Names insert a "sched:" or
+  // "dec:" segment (mirroring link:/content:) so sweeps and CI select or
+  // exclude the matrix with one substring; the default-cell matrix above
+  // never carries either segment.  The grid opens the corners the paper's
+  // dense baseline cannot reach: a systematic first pass under lossy
+  // links (uncoded tokens decode on arrival), feedback-steered generation
+  // picks under churn (rank deficits ride the rows), and the banded
+  // eliminator against its generic grouped baseline at n64 generation
+  // coding.
+  struct sched_cell {
+    const char* alg;
+    const char* alg_variant;
+    param_map params;      // includes the sched=/dec= spelling
+    const char* seg;       // name segment, e.g. "sched:systematic"
+    const char* adv;
+    const char* adv_variant;
+    param_map adv_params;
+    std::size_t n;
+    std::size_t b;
+    const char* link = "";           // optional channel under the cell
+    const char* link_variant = "";
+    param_map link_params = {};
+  };
+  const param_map gen8{{"gen_size", "8"}, {"band_overlap", "2"}};
+  const param_map gen16{{"gen_size", "16"}, {"band_overlap", "4"}};
+  const param_map churn_p{{"rate", "0.1"}, {"max_down", "4"}};
+  const std::vector<sched_cell> sched_cells = {
+      // Systematic first pass: every token rides uncoded once before the
+      // sender switches to dense rows — early decode-delay mass, same
+      // completion guarantee.
+      {"rlnc-direct", "", {{"sched", "systematic"}}, "sched:systematic",
+       "permuted-path", "", {}, 16, 32},
+      {"rlnc-direct", "", {{"sched", "systematic"}}, "sched:systematic",
+       "static-star", "", {}, 16, 32},
+      {"rlnc-direct", "", {{"sched", "systematic"}}, "sched:systematic",
+       "adaptive-min-cut", "", {}, 16, 32},
+      // ... crossed with iid loss: lost uncoded tokens are covered by the
+      // coded tail, and the delay histogram shows the cost.
+      {"rlnc-direct", "", {{"sched", "systematic"}}, "sched:systematic",
+       "permuted-path", "", {}, 16, 32, "bernoulli", "p=0.1",
+       {{"p", "0.1"}}},
+      {"rlnc-direct", "", {{"sched", "systematic"}}, "sched:systematic",
+       "permuted-path", "", {}, 16, 32, "bernoulli", "p=0.3",
+       {{"p", "0.3"}}},
+      {"rlnc-gen", "", merged(gen8, {{"sched", "systematic"}}),
+       "sched:systematic", "permuted-path", "", {}, 16, 32},
+      // Feedback-steered generation picks: receivers' piggybacked rank
+      // deficits steer the sender's draws toward starved generations.
+      {"rlnc-gen", "", merged(gen8, {{"sched", "feedback"}}),
+       "sched:feedback", "permuted-path", "", {}, 16, 32},
+      {"rlnc-gen", "", merged(gen8, {{"sched", "feedback"}}),
+       "sched:feedback", "t-interval-random", "", {{"t", "4"}}, 16, 32},
+      {"rlnc-gen", "", merged(gen8, {{"sched", "feedback"}}),
+       "sched:feedback", "churn", "", churn_p, 16, 32},
+      {"rlnc-gen", "", merged(gen8, {{"sched", "feedback"}}),
+       "sched:feedback", "churn", "heavy",
+       {{"rate", "0.25"}, {"max_down", "4"}}, 16, 32},
+      {"rlnc-gen", "", merged(gen8, {{"sched", "feedback"}}),
+       "sched:feedback", "permuted-path", "", {}, 32, 32},
+      // Generic grouped rref as the banded eliminator's baseline: same
+      // draws, same wire bytes, full-width elimination XORs.
+      {"rlnc-gen", "", merged(gen8, {{"dec", "rref"}}), "dec:rref",
+       "permuted-path", "", {}, 16, 32},
+      {"rlnc-gen", "g=16,w=4", merged(gen16, {{"dec", "rref"}}), "dec:rref",
+       "permuted-path", "", {}, 64, 48},
+      {"rlnc-gen", "g=16,w=4", merged(gen16, {{"dec", "banded"}}),
+       "dec:banded", "permuted-path", "", {}, 64, 48},
+      {"rlnc-gen", "g=16,w=4", merged(gen16, {{"dec", "banded"}}),
+       "dec:banded", "random-connected", "", {}, 64, 48},
+      // The sparse schedule spelled through the matrix surface on the
+      // dense entry (the rlnc-sparse shim's cell, reached the new way).
+      {"rlnc-direct", "", {{"sched", "sparse"}, {"rho", "0.1"}},
+       "sched:sparse[rho=0.1]", "permuted-path", "", {}, 16, 32},
+      {"rlnc-direct", "", {{"sched", "systematic"}, {"dec", "rref"}},
+       "sched:systematic/dec:rref", "sorted-path", "", {}, 16, 32},
+  };
+  for (const sched_cell& c : sched_cells) {
+    NCDN_ASSERT(protocol_registry::instance().find(c.alg) != nullptr);
+    NCDN_ASSERT(adversary_registry::instance().find(c.adv) != nullptr);
+    scenario s;
+    s.alg = c.alg;
+    s.adv = c.adv;
+    s.params = c.params;
+    for (const auto& [key, value] : c.adv_params) {
+      NCDN_ASSERT(s.params.count(key) == 0);
+      s.params[key] = value;
+    }
+    s.prob.n = c.n;
+    s.prob.k = c.n;
+    s.prob.d = 8;
+    s.prob.b = c.b;
+    s.prob.t_stability = 1;
+    s.prob.place = placement::one_per_node;
+    s.tier = tier_for(c.n);
+    s.name = spec_segment(c.alg, c.alg_variant) + "/" +
+             spec_segment(c.adv, c.adv_variant) + "/" + c.seg;
+    if (c.link[0] != '\0') {
+      s.link = c.link;
+      s.link_params = c.link_params;
+      s.name += std::string("/link:") + spec_segment(c.link, c.link_variant);
+    }
+    s.name += "/n" + std::to_string(c.n);
+    out.push_back(std::move(s));
   }
   return out;
 }

@@ -226,6 +226,16 @@ json::value sweep_to_json(const sweep_result& result) {
     json::put(mo, "final_tokens_retired", m.final_tokens_retired);
     // v2 addendum (PR3): decode cost, for the rounds-vs-XORs frontier.
     json::put(mo, "elimination_xors", m.total_elimination_xors);
+    // v3 addendum (PR10): decode-delay distribution over (node, token)
+    // pairs, present only for coded runs (sessions exposing a decode-delay
+    // histogram).  Keys are additive — token-forwarding cells are
+    // byte-identical to v2 output.
+    if (m.decode_delay_active) {
+      json::put(mo, "decode_delay_events", m.decode_delay_events);
+      json::put(mo, "decode_delay_p50", m.decode_delay_p50);
+      json::put(mo, "decode_delay_p90", m.decode_delay_p90);
+      json::put(mo, "decode_delay_max", m.decode_delay_max);
+    }
     // v2 addendum (PR7): channel accounting, present only when a link
     // model ran.  Counts are directed copies; the latency histogram
     // buckets deliveries by rounds spent in flight (index 0 = same-round).

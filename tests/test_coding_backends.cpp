@@ -126,15 +126,25 @@ TEST(generation_backend, knowledge_is_decodable_count_and_monotone) {
   for (node_id u = 0; u < n; ++u) EXPECT_EQ(s.knowledge(u), k);
 }
 
-TEST(generation_backend, dense_decoder_accessor_is_backend_gated) {
-  rlnc_session dense(4, 4, 8);
-  (void)dense.decoder(0);  // dense exposes its full-span decoder
-  rlnc_session sparse(4, 4, 8, make_sparse_backend(0.3));
-  (void)sparse.decoder(0);  // sparse keeps one full-span decoder too
-#if defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
-  rlnc_session gen(4, 4, 8, make_generation_backend(2, 1));
-  EXPECT_DEATH((void)gen.decoder(0), "");  // no single full-span decoder
-#endif
+TEST(generation_backend, decode_progress_is_uniform_across_backends) {
+  // The old dense_decoder() escape hatch is gone: every backend answers
+  // decode_progress() directly, and it always equals the number of
+  // can_decode(i) == true tokens — no null checks, no backend gating.
+  rng r(97);
+  bitvec p(8);
+  p.randomize(r);
+  auto check = [&](std::unique_ptr<coding_backend> b) {
+    rlnc_session s(4, 4, 8, std::move(b));
+    EXPECT_EQ(s.decode_progress(0), 0u);
+    s.seed(0, 1, p);
+    std::size_t decodable = 0;
+    for (std::size_t i = 0; i < 4; ++i) decodable += s.can_decode(0, i);
+    EXPECT_EQ(s.decode_progress(0), decodable);
+    EXPECT_EQ(s.decode_progress(0), 1u);  // one seeded singleton
+  };
+  check(make_dense_backend());
+  check(make_sparse_backend(0.3));
+  check(make_generation_backend(2, 1));
 }
 
 // --- bit-identity: dense must not move --------------------------------------
@@ -152,7 +162,8 @@ TEST(dense_bit_identity, explicit_dense_backend_equals_default_ctor) {
     const round_t used = s.run(net, 20 * (n + k), true);
     std::vector<std::uint64_t> sig{used, s.xor_word_ops()};
     for (node_id u = 0; u < n; ++u) {
-      for (const bitvec& row : s.decoder(u).basis()) sig.push_back(row.hash());
+      sig.push_back(s.decode_progress(u));
+      for (std::size_t i = 0; i < k; ++i) sig.push_back(s.decode(u, i).hash());
     }
     return sig;
   };

@@ -110,8 +110,8 @@ TEST(resilience, rlnc_with_absent_item_never_completes_but_stays_sane) {
   EXPECT_EQ(used, 500u);  // ran to the cap
   EXPECT_FALSE(s.all_complete());
   for (node_id u = 0; u < n; ++u) {
-    EXPECT_LE(s.decoder(u).rank(), k - 1);
-    EXPECT_FALSE(s.decoder(u).can_decode(k - 1));
+    EXPECT_LE(s.knowledge(u), k - 1);
+    EXPECT_FALSE(s.can_decode(u, k - 1));
   }
 }
 

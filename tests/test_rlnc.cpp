@@ -54,7 +54,7 @@ TEST_P(rlnc_suite, all_nodes_decode_within_linear_rounds) {
   // Every node decodes the true payloads.
   for (node_id u = 0; u < c.n; ++u) {
     for (std::size_t i = 0; i < c.items; ++i) {
-      EXPECT_EQ(session.decoder(u).decode(i), payloads[i]);
+      EXPECT_EQ(session.decode(u, i), payloads[i]);
     }
   }
   // Message size: k * lg 2 + d bits exactly (Lemma 5.3).
@@ -91,7 +91,7 @@ TEST(rlnc_session, single_source_broadcast) {
   ASSERT_TRUE(s.all_complete());
   for (node_id u = 0; u < n; ++u) {
     for (std::size_t i = 0; i < k; ++i) {
-      EXPECT_EQ(s.decoder(u).decode(i), payloads[i]);
+      EXPECT_EQ(s.decode(u, i), payloads[i]);
     }
   }
 }
@@ -131,7 +131,7 @@ TEST(rlnc_session, redundant_seeding_is_harmless) {
   ASSERT_TRUE(s.all_complete());
   for (node_id u = 0; u < n; ++u) {
     for (std::size_t i = 0; i < k; ++i) {
-      EXPECT_EQ(s.decoder(u).decode(i), payloads[i]);
+      EXPECT_EQ(s.decode(u, i), payloads[i]);
     }
   }
 }
@@ -180,7 +180,7 @@ TEST(rlnc_wire_size, gf2_messages_cost_exactly_k_plus_s_bits) {
     p.randomize(r);
     sess.seed(static_cast<node_id>(i % n), i, p);
   }
-  coded_msg probe{bitvec(k + s)};
+  coded_msg probe{bitvec(k + s), {}};
   EXPECT_EQ(probe.bit_size(), k + s);
   sess.run(net, 4, false);
   EXPECT_EQ(net.max_observed_message_bits(), k + s);

@@ -76,7 +76,7 @@ TEST(chunked_meta, decodes_under_t_interval_connectivity) {
     ASSERT_TRUE(s.all_complete()) << "T=" << t;
     for (node_id u = 0; u < n; ++u) {
       for (std::size_t i = 0; i < s.items(); ++i) {
-        EXPECT_EQ(s.decoder(u).decode(i), payloads[i]);
+        EXPECT_EQ(s.decode(u, i), payloads[i]);
       }
     }
   }

@@ -54,7 +54,7 @@ TEST(chunked_meta, decodes_on_t_stable_network) {
     ASSERT_TRUE(s.all_complete()) << "T=" << t;
     for (node_id u = 0; u < n; ++u) {
       for (std::size_t i = 0; i < s.items(); ++i) {
-        EXPECT_EQ(s.decoder(u).decode(i), payloads[i]);
+        EXPECT_EQ(s.decode(u, i), payloads[i]);
       }
     }
   }
@@ -90,7 +90,7 @@ TEST(tstable_patch_session, decodes_on_stable_network) {
       << " failures=" << s.patching_failures();
   for (node_id u = 0; u < n; ++u) {
     for (std::size_t i = 0; i < plan.items; ++i) {
-      EXPECT_EQ(s.decoder(u).decode(i), payloads[i]);
+      EXPECT_EQ(s.decode(u, i), payloads[i]);
     }
   }
 }
@@ -116,7 +116,7 @@ TEST(tstable_patch_session, single_source_static_graph) {
   ASSERT_TRUE(s.all_complete());
   for (node_id u = 0; u < n; ++u) {
     for (std::size_t i = 0; i < plan.items; ++i) {
-      EXPECT_EQ(s.decoder(u).decode(i), payloads[i]);
+      EXPECT_EQ(s.decode(u, i), payloads[i]);
     }
   }
 }

@@ -5,6 +5,8 @@
 //   ncdn-run list-adversaries        every registered adversary + summary
 //   ncdn-run list-links              every registered link model + summary
 //   ncdn-run list-contents           every registered content model + summary
+//   ncdn-run list-schedules          encoder schedules (sched=) and decoder
+//                                    strategies (dec=) of the rlnc-* matrix
 //   ncdn-run run NAME [options]      one named scenario, one seed
 //   ncdn-run run --alg A --topo T [options]
 //                                    ad-hoc cell from registry spec names
@@ -56,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "coding/matrix.hpp"
 #include "core/session.hpp"
 #include "core/sysinfo.hpp"
 #include "runner/sweep.hpp"
@@ -69,7 +72,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list [PATTERN]\n"
                "       %s list-algorithms | list-adversaries | "
-               "list-links | list-contents\n"
+               "list-links | list-contents | list-schedules\n"
                "       %s run NAME [--seed S] [--param K=V]... "
                "[--link SPEC] [--content SPEC] [--trace]\n"
                "       %s run --alg NAME --topo NAME [--seed S] "
@@ -143,6 +146,20 @@ int cmd_list_contents() {
   return 0;
 }
 
+int cmd_list_schedules() {
+  std::size_t count = 0;
+  for (const matrix_axis_info& e : encoder_schedules()) {
+    std::printf("sched=%-22s %s\n", e.name, e.summary);
+    ++count;
+  }
+  for (const matrix_axis_info& e : decoder_strategies()) {
+    std::printf("dec=%-24s %s\n", e.name, e.summary);
+    ++count;
+  }
+  std::fprintf(stderr, "%zu matrix axis value(s)\n", count);
+  return 0;
+}
+
 void print_report(const std::string& label, const run_report& rep) {
   const session_metrics& m = rep.metrics;
   std::printf("scenario           %s\n", label.c_str());
@@ -168,6 +185,11 @@ void print_report(const std::string& label, const run_report& rep) {
               m.final_tokens_retired);
   std::printf("elimination_xors   %llu\n",
               static_cast<unsigned long long>(m.total_elimination_xors));
+  if (m.decode_delay_active) {
+    std::printf("decode_delay       events=%llu p50=%zu p90=%zu max=%zu\n",
+                static_cast<unsigned long long>(m.decode_delay_events),
+                m.decode_delay_p50, m.decode_delay_p90, m.decode_delay_max);
+  }
   if (m.link_active) {
     std::printf("link_copies        sent=%llu delivered=%llu dropped=%llu "
                 "in_flight=%zu\n",
@@ -542,6 +564,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "list-contents") {
     return cmd_list_contents();
+  }
+  if (cmd == "list-schedules") {
+    return cmd_list_schedules();
   }
   if (cmd == "run") {
     if (argc < 3) return usage(argv[0]);
